@@ -1,0 +1,1051 @@
+//! The FuxiAgent actor.
+
+use crate::enforce::{pick_overload_victim, Envelope, ProcUsage, Sandbox};
+use crate::ProcMeta;
+use fuxi_apsara::NameRegistry;
+use fuxi_proto::msg::{AppDescription, WorkerSpec};
+use fuxi_proto::{
+    AppId, FailReason, JobId, MachineId, Msg, NodeHealthReport, ResourceVec, UnitId, WorkerId,
+};
+use fuxi_sim::{Actor, ActorId, Ctx, FlowKind, FlowSpec, SimDuration};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// Everything a factory needs to construct an application-master actor.
+pub struct MasterLaunch {
+    /// Application id.
+    pub app: AppId,
+    /// Job id.
+    pub job: JobId,
+    /// Task description.
+    pub desc: AppDescription,
+    /// Machine this applies to.
+    pub machine: MachineId,
+}
+
+/// Everything a factory needs to construct a worker actor.
+pub struct WorkerLaunch {
+    /// Launch specification of the worker.
+    pub spec: WorkerSpec,
+    /// Machine this applies to.
+    pub machine: MachineId,
+}
+
+/// Builds the application-master actor for a job type — the simulation
+/// counterpart of exec'ing the downloaded master package.
+pub type MasterFactory = Rc<dyn Fn(&MasterLaunch) -> Box<dyn Actor<Msg>>>;
+
+/// Builds a worker actor — the counterpart of exec'ing the worker binary.
+pub type WorkerFactory = Rc<dyn Fn(&WorkerLaunch) -> Box<dyn Actor<Msg>>>;
+
+/// Agent tuning.
+#[derive(Debug, Clone)]
+pub struct AgentConfig {
+    /// The heartbeat interval.
+    pub heartbeat_interval: SimDuration,
+    /// Process-liveness and overload sweep cadence.
+    pub sweep_interval: SimDuration,
+    /// Grace the application master gets to act on a `CapacityWarning`
+    /// before the agent kills a process itself.
+    pub capacity_grace: SimDuration,
+    /// Machine load (usage / capacity on the hottest dimension) above which
+    /// the overload kill rule engages.
+    pub overload_threshold: f64,
+    /// Restart crashed workers ("FuxiAgent watches the worker's status and
+    /// restarts it if it crashes").
+    pub restart_crashed_workers: bool,
+}
+
+impl Default for AgentConfig {
+    fn default() -> Self {
+        Self {
+            heartbeat_interval: SimDuration::from_secs(2),
+            sweep_interval: SimDuration::from_secs(1),
+            capacity_grace: SimDuration::from_secs(3),
+            overload_threshold: 1.05,
+            restart_crashed_workers: true,
+        }
+    }
+}
+
+const TIMER_HB: u64 = 1;
+const TIMER_SWEEP: u64 = 2;
+const TIMER_PARKED: u64 = 3;
+const GRACE_BASE: u64 = 1 << 32;
+/// Heartbeats between periodic envelope refreshes from the master (repairs
+/// any drift from lost CapacityNotify messages).
+const ENVELOPE_REFRESH_BEATS: u32 = 15;
+
+#[derive(Debug)]
+struct WorkerRt {
+    spec: WorkerSpec,
+    actor: Option<ActorId>,
+}
+
+enum PendingLaunch {
+    Master { launch: MasterLaunch },
+    Worker { spec: WorkerSpec },
+}
+
+/// The per-machine agent actor.
+pub struct FuxiAgent {
+    machine: MachineId,
+    total: ResourceVec,
+    cfg: AgentConfig,
+    naming: NameRegistry,
+    master_factory: MasterFactory,
+    worker_factory: WorkerFactory,
+    fm: Option<ActorId>,
+    envelope: Envelope,
+    workers: BTreeMap<WorkerId, WorkerRt>,
+    jms: BTreeMap<AppId, (ActorId, JobId, ResourceVec)>,
+    sandbox: Sandbox,
+    pending: BTreeMap<u64, PendingLaunch>,
+    next_tag: u64,
+    launch_failures_since_hb: u32,
+    /// StartWorker requests that arrived before the matching
+    /// CapacityNotify (the FM→AM→FA path can beat the FM→FA path);
+    /// retried a few times before failing.
+    parked: Vec<(WorkerSpec, u32)>,
+    beats: u32,
+    /// Apps whose worker binary is already on local disk: container reuse
+    /// means one download per (machine, app), not one per worker.
+    binary_cache: BTreeSet<AppId>,
+    /// Workers waiting for an in-flight download of their app's binary.
+    download_waiters: BTreeMap<AppId, Vec<WorkerSpec>>,
+}
+
+impl FuxiAgent {
+    /// Creates a new instance with the given configuration.
+    pub fn new(
+        machine: MachineId,
+        total: ResourceVec,
+        cfg: AgentConfig,
+        naming: NameRegistry,
+        master_factory: MasterFactory,
+        worker_factory: WorkerFactory,
+    ) -> Self {
+        Self {
+            machine,
+            total,
+            cfg,
+            naming,
+            master_factory,
+            worker_factory,
+            fm: None,
+            envelope: Envelope::new(),
+            workers: BTreeMap::new(),
+            jms: BTreeMap::new(),
+            sandbox: Sandbox::default(),
+            pending: BTreeMap::new(),
+            next_tag: 1,
+            launch_failures_since_hb: 0,
+            parked: Vec::new(),
+            beats: 0,
+            binary_cache: BTreeSet::new(),
+            download_waiters: BTreeMap::new(),
+        }
+    }
+
+    fn m(&self) -> u32 {
+        self.machine.0
+    }
+
+    // ------------------------------------------------------------------
+    // Master liaison
+    // ------------------------------------------------------------------
+
+    fn send_allocation_report(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if let Some(fm) = self.fm {
+            ctx.send(
+                fm,
+                Msg::AgentAllocationReport {
+                    machine: self.machine,
+                    total: self.total.clone(),
+                    allocations: self.envelope.report(),
+                    app_masters: self.jms.iter().map(|(&app, &(a, _, _))| (app, a)).collect(),
+                },
+            );
+        }
+    }
+
+    fn resolve_master(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let current = self.naming.master();
+        if current != self.fm {
+            self.fm = current;
+            // A (possibly new) master: report what this machine runs so a
+            // rebuilding master reconstructs soft state (Figure 7).
+            self.send_allocation_report(ctx);
+        }
+    }
+
+    fn health(&mut self, ctx: &mut Ctx<'_, Msg>) -> NodeHealthReport {
+        let mut usage = ResourceVec::ZERO;
+        for w in self.workers.values() {
+            usage.add(&proc_usage(&w.spec).usage());
+        }
+        for (_, _, res) in self.jms.values() {
+            usage.add(res);
+        }
+        let report = NodeHealthReport {
+            disk_ok_ratio: if ctx.launch_ok(self.m()) { 1.0 } else { 0.4 },
+            load: self.total.max_physical_load(&usage),
+            net_utilization: 0.0,
+            recent_launch_failures: self.launch_failures_since_hb,
+            speed_factor: ctx.machine_speed(self.m()),
+        };
+        self.launch_failures_since_hb = 0;
+        report
+    }
+
+    // ------------------------------------------------------------------
+    // Launching
+    // ------------------------------------------------------------------
+
+    fn begin_download(&mut self, ctx: &mut Ctx<'_, Msg>, size_mb: f64, launch: PendingLaunch) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.pending.insert(tag, launch);
+        // Binary packages are pulled from a (replicated) package store; the
+        // paper attributes most of the 11.84 s worker start overhead to this
+        // download (~400 MB). We model it as a transfer from a random
+        // machine — contention with job traffic is real.
+        let n = ctx.n_machines() as u32;
+        let src = ctx.rng().gen_range(0..n);
+        let kind = if src == self.m() {
+            FlowKind::DiskRead { machine: self.m() }
+        } else {
+            FlowKind::Transfer {
+                src,
+                dst: self.m(),
+            }
+        };
+        ctx.start_flow(FlowSpec {
+            kind,
+            size_mb,
+            tag,
+        });
+    }
+
+    fn finish_download(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64, failed: bool) {
+        let Some(launch) = self.pending.remove(&tag) else {
+            return;
+        };
+        match launch {
+            PendingLaunch::Master { launch } => {
+                let app = launch.app;
+                if failed || !ctx.launch_ok(self.m()) {
+                    self.launch_failures_since_hb += 1;
+                    if let Some(fm) = self.fm {
+                        ctx.send(
+                            fm,
+                            Msg::AppMasterStartFailed {
+                                app,
+                                reason: "launch failed".into(),
+                            },
+                        );
+                    }
+                    return;
+                }
+                let actor = ctx.spawn(Some(self.m()), (self.master_factory)(&launch));
+                self.jms
+                    .insert(app, (actor, launch.job, launch.desc.master_resource.clone()));
+                ctx.metrics()
+                    .gauge_add("fa.planned_mem_mb", launch.desc.master_resource.memory_mb() as f64);
+                ctx.metrics()
+                    .gauge_add("fa.planned_cpu_milli", launch.desc.master_resource.cpu_milli() as f64);
+                if let Some(fm) = self.fm {
+                    ctx.send(
+                        fm,
+                        Msg::AppMasterStarted {
+                            app,
+                            actor,
+                            machine: self.machine,
+                        },
+                    );
+                }
+            }
+            PendingLaunch::Worker { spec } => {
+                let app = spec.app;
+                let waiters = self.download_waiters.remove(&app).unwrap_or_default();
+                if failed || !ctx.launch_ok(self.m()) {
+                    self.launch_failures_since_hb += 1;
+                    for s in std::iter::once(&spec).chain(waiters.iter()) {
+                        ctx.metrics().count("fa.worker_launch_failed", 1);
+                        ctx.send(
+                            s.master,
+                            Msg::WorkerStartFailed {
+                                worker: s.worker,
+                                machine: self.machine,
+                                reason: "launch failed".into(),
+                            },
+                        );
+                    }
+                    return;
+                }
+                self.binary_cache.insert(app);
+                self.spawn_worker(ctx, spec);
+                for s in waiters {
+                    self.spawn_worker(ctx, s);
+                }
+            }
+        }
+    }
+
+    /// Starts a worker, downloading its app's binary only if this machine
+    /// has not fetched it yet (one download per app per machine — the
+    /// local package cache every production agent keeps).
+    fn start_or_download(&mut self, ctx: &mut Ctx<'_, Msg>, spec: WorkerSpec) {
+        if self.binary_cache.contains(&spec.app) {
+            self.spawn_worker(ctx, spec);
+            return;
+        }
+        match self.download_waiters.get_mut(&spec.app) {
+            Some(waiters) => waiters.push(spec),
+            None => {
+                // First worker of this app here: fetch the binary; others
+                // queue behind the same download.
+                self.download_waiters.insert(spec.app, Vec::new());
+                let size = spec.binary_mb;
+                self.begin_download(ctx, size, PendingLaunch::Worker { spec });
+            }
+        }
+    }
+
+    fn spawn_worker(&mut self, ctx: &mut Ctx<'_, Msg>, spec: WorkerSpec) {
+        let launch = WorkerLaunch {
+            spec: spec.clone(),
+            machine: self.machine,
+        };
+        let actor = ctx.spawn(Some(self.m()), (self.worker_factory)(&launch));
+        self.sandbox.create(spec.app, spec.worker);
+        ctx.metrics()
+            .gauge_add("fa.planned_mem_mb", spec.limit.memory_mb() as f64);
+        ctx.metrics()
+            .gauge_add("fa.planned_cpu_milli", spec.limit.cpu_milli() as f64);
+        ctx.send(
+            spec.master,
+            Msg::WorkerStarted {
+                worker: spec.worker,
+                actor,
+                machine: self.machine,
+            },
+        );
+        self.workers.insert(
+            spec.worker,
+            WorkerRt {
+                spec,
+                actor: Some(actor),
+            },
+        );
+    }
+
+    fn running_count(&self, app: AppId, unit: UnitId) -> u64 {
+        let live = self
+            .workers
+            .values()
+            .filter(|w| w.spec.app == app && w.spec.unit == unit)
+            .count() as u64;
+        let pending = self
+            .pending
+            .values()
+            .filter(|p| match p {
+                PendingLaunch::Worker { spec } => spec.app == app && spec.unit == unit,
+                _ => false,
+            })
+            .count() as u64;
+        let waiting = self
+            .download_waiters
+            .get(&app)
+            .map(|v| v.iter().filter(|s| s.unit == unit).count() as u64)
+            .unwrap_or(0);
+        live + pending + waiting
+    }
+
+    fn drop_worker(&mut self, ctx: &mut Ctx<'_, Msg>, worker: WorkerId, kill_actor: bool) {
+        if let Some(rt) = self.workers.remove(&worker) {
+            if let (true, Some(actor)) = (kill_actor, rt.actor) {
+                ctx.kill(actor);
+            }
+            self.sandbox.destroy(worker);
+            ctx.metrics()
+                .gauge_add("fa.planned_mem_mb", -(rt.spec.limit.memory_mb() as f64));
+            ctx.metrics()
+                .gauge_add("fa.planned_cpu_milli", -(rt.spec.limit.cpu_milli() as f64));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Enforcement
+    // ------------------------------------------------------------------
+
+    /// Resource-capacity ensurance after a capacity decrease: warn the AM,
+    /// then (on the grace timer) kill newest workers of the app until the
+    /// envelope holds.
+    fn check_capacity(&mut self, ctx: &mut Ctx<'_, Msg>, app: AppId) {
+        let mut over = ResourceVec::ZERO;
+        let mut any_over = false;
+        let units: Vec<UnitId> = self
+            .workers
+            .values()
+            .filter(|w| w.spec.app == app)
+            .map(|w| w.spec.unit)
+            .collect();
+        for unit in units {
+            let allowed = self.envelope.allowed(app, unit);
+            let running = self.running_count(app, unit);
+            if running > allowed {
+                any_over = true;
+                if let Some(size) = self.envelope.unit_size(app, unit) {
+                    over.add_scaled(size, running - allowed);
+                }
+            }
+        }
+        if any_over {
+            // Warn whoever masters this app's workers (any of them).
+            if let Some(w) = self.workers.values().find(|w| w.spec.app == app) {
+                ctx.send(
+                    w.spec.master,
+                    Msg::CapacityWarning {
+                        app,
+                        machine: self.machine,
+                        over,
+                    },
+                );
+            }
+            ctx.timer(self.cfg.capacity_grace, GRACE_BASE + app.0 as u64);
+        }
+    }
+
+    fn enforce_capacity(&mut self, ctx: &mut Ctx<'_, Msg>, app: AppId) {
+        // Grace expired: "when the resource capacity decreases and
+        // application master does not choose one process to stop, FuxiAgent
+        // will kill one process of this application compulsorily."
+        loop {
+            let victim = {
+                let mut per_unit: BTreeMap<UnitId, Vec<WorkerId>> = BTreeMap::new();
+                for (id, w) in &self.workers {
+                    if w.spec.app == app {
+                        per_unit.entry(w.spec.unit).or_default().push(*id);
+                    }
+                }
+                let mut v = None;
+                for (unit, mut ids) in per_unit {
+                    let allowed = self.envelope.allowed(app, unit);
+                    if (ids.len() as u64) > allowed {
+                        ids.sort();
+                        v = ids.pop(); // newest (highest id) goes first
+                        break;
+                    }
+                }
+                v
+            };
+            let Some(worker) = victim else { break };
+            ctx.metrics().count("fa.capacity_kills", 1);
+            let master = self.workers[&worker].spec.master;
+            self.drop_worker(ctx, worker, true);
+            ctx.send(
+                master,
+                Msg::WorkerExited {
+                    app,
+                    worker,
+                    machine: self.machine,
+                    reason: FailReason::Killed,
+                },
+            );
+        }
+    }
+
+    fn sweep(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // 1) Process liveness: restart crashed workers, report dead JMs.
+        let crashed: Vec<WorkerId> = self
+            .workers
+            .iter()
+            .filter(|(_, w)| w.actor.map(|a| !ctx.alive(a)).unwrap_or(true))
+            .map(|(&id, _)| id)
+            .collect();
+        for worker in crashed {
+            let spec = self.workers[&worker].spec.clone();
+            self.drop_worker(ctx, worker, false);
+            ctx.metrics().count("fa.worker_crashes", 1);
+            if self.cfg.restart_crashed_workers && ctx.launch_ok(self.m()) {
+                // Restart in place; the master learns the new address from
+                // the WorkerStarted it is about to receive.
+                self.spawn_worker(ctx, spec);
+            } else {
+                ctx.send(
+                    spec.master,
+                    Msg::WorkerExited {
+                        app: spec.app,
+                        worker,
+                        machine: self.machine,
+                        reason: FailReason::Crashed,
+                    },
+                );
+            }
+        }
+        let dead_jms: Vec<AppId> = self
+            .jms
+            .iter()
+            .filter(|(_, (a, _, _))| !ctx.alive(*a))
+            .map(|(&app, _)| app)
+            .collect();
+        for app in dead_jms {
+            let (_, _, res) = self.jms.remove(&app).unwrap();
+            ctx.metrics()
+                .gauge_add("fa.planned_mem_mb", -(res.memory_mb() as f64));
+            ctx.metrics()
+                .gauge_add("fa.planned_cpu_milli", -(res.cpu_milli() as f64));
+            if let Some(fm) = self.fm {
+                ctx.send(
+                    fm,
+                    Msg::AppMasterExited {
+                        app,
+                        machine: self.machine,
+                    },
+                );
+            }
+        }
+        // 2) Overload: kill the worst offender until load is acceptable.
+        loop {
+            let procs: Vec<ProcUsage> = self
+                .workers
+                .values()
+                .map(|w| proc_usage(&w.spec))
+                .collect();
+            let mut usage = ResourceVec::ZERO;
+            for p in &procs {
+                usage.add(&p.usage());
+            }
+            if self.total.max_physical_load(&usage) <= self.cfg.overload_threshold {
+                break;
+            }
+            let Some(victim) = pick_overload_victim(&procs) else {
+                break;
+            };
+            ctx.metrics().count("fa.overload_kills", 1);
+            let spec = self.workers[&victim].spec.clone();
+            self.drop_worker(ctx, victim, true);
+            ctx.send(
+                spec.master,
+                Msg::WorkerExited {
+                    app: spec.app,
+                    worker: victim,
+                    machine: self.machine,
+                    reason: FailReason::Killed,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Failover adoption
+    // ------------------------------------------------------------------
+
+    /// A restarted agent adopts processes already running on its machine
+    /// ("existing running tasks will be adopted rather than being killed").
+    fn adopt(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let mut adopted_apps: Vec<(AppId, ActorId)> = Vec::new();
+        for (actor, meta) in ctx.procs_on(self.m()) {
+            let Some(meta) = ProcMeta::decode(&meta) else {
+                continue;
+            };
+            match meta {
+                ProcMeta::Worker {
+                    app,
+                    worker,
+                    unit,
+                    limit,
+                    master,
+                    usage_factor,
+                } => {
+                    let master = ActorId(master);
+                    self.workers.insert(
+                        worker,
+                        WorkerRt {
+                            spec: WorkerSpec {
+                                app,
+                                worker,
+                                unit,
+                                limit: limit.clone(),
+                                binary_mb: 0.0,
+                                master,
+                                usage_factor,
+                            },
+                            actor: Some(actor),
+                        },
+                    );
+                    self.sandbox.create(app, worker);
+                    ctx.metrics()
+                        .gauge_add("fa.planned_mem_mb", limit.memory_mb() as f64);
+                    ctx.metrics()
+                        .gauge_add("fa.planned_cpu_milli", limit.cpu_milli() as f64);
+                    adopted_apps.push((app, master));
+                }
+                ProcMeta::JobMaster { app, job, resource } => {
+                    ctx.metrics()
+                        .gauge_add("fa.planned_mem_mb", resource.memory_mb() as f64);
+                    ctx.metrics()
+                        .gauge_add("fa.planned_cpu_milli", resource.cpu_milli() as f64);
+                    self.jms.insert(app, (actor, job, resource));
+                }
+            }
+        }
+        if !self.workers.is_empty() {
+            ctx.metrics().count("fa.adopted_workers", self.workers.len() as u64);
+        }
+        // Reconcile with each app's master ("then requests the full worker
+        // lists from each corresponding application master").
+        adopted_apps.sort();
+        adopted_apps.dedup();
+        for (app, master) in adopted_apps {
+            ctx.send(
+                master,
+                Msg::WorkerListQuery {
+                    app,
+                    machine: self.machine,
+                },
+            );
+        }
+    }
+}
+
+fn proc_usage(spec: &WorkerSpec) -> ProcUsage {
+    ProcUsage {
+        worker: spec.worker,
+        limit: spec.limit.clone(),
+        usage_factor: spec.usage_factor,
+    }
+}
+
+impl Actor<Msg> for FuxiAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.naming
+            .register(&format!("agent/{}", self.machine), ctx.id());
+        self.adopt(ctx);
+        self.fm = self.naming.master();
+        if let Some(fm) = self.fm {
+            ctx.send(
+                fm,
+                Msg::AgentHello {
+                    machine: self.machine,
+                    total: self.total.clone(),
+                },
+            );
+        }
+        ctx.timer(self.cfg.heartbeat_interval, TIMER_HB);
+        ctx.timer(self.cfg.sweep_interval, TIMER_SWEEP);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, msg: Msg) {
+        match msg {
+            Msg::StartAppMaster { app, job, desc } => {
+                if !ctx.launch_ok(self.m()) {
+                    self.launch_failures_since_hb += 1;
+                    if let Some(fm) = self.fm {
+                        ctx.send(
+                            fm,
+                            Msg::AppMasterStartFailed {
+                                app,
+                                reason: "machine cannot launch processes".into(),
+                            },
+                        );
+                    }
+                    return;
+                }
+                let size = desc.master_package_mb;
+                self.begin_download(
+                    ctx,
+                    size,
+                    PendingLaunch::Master {
+                        launch: MasterLaunch {
+                            app,
+                            job,
+                            desc,
+                            machine: self.machine,
+                        },
+                    },
+                );
+            }
+            Msg::StartWorker { spec } => {
+                // Resource capacity ensurance: only start within the envelope.
+                let allowed = self.envelope.allowed(spec.app, spec.unit);
+                let running = self.running_count(spec.app, spec.unit);
+                if running >= allowed {
+                    // The grant notification may still be in flight; park
+                    // and retry before declaring failure.
+                    ctx.metrics().count("fa.start_parked_capacity", 1);
+                    if self.parked.is_empty() {
+                        ctx.timer(SimDuration::from_millis(500), TIMER_PARKED);
+                    }
+                    self.parked.push((spec, 0));
+                    return;
+                }
+                if !ctx.launch_ok(self.m()) {
+                    self.launch_failures_since_hb += 1;
+                    ctx.metrics().count("fa.worker_launch_failed", 1);
+                    ctx.send(
+                        spec.master,
+                        Msg::WorkerStartFailed {
+                            worker: spec.worker,
+                            machine: self.machine,
+                            reason: "machine cannot launch processes".into(),
+                        },
+                    );
+                    return;
+                }
+                self.start_or_download(ctx, spec);
+            }
+            Msg::StopWorker { app, worker } => {
+                if let Some(waiters) = self.download_waiters.get_mut(&app) {
+                    waiters.retain(|s| s.worker != worker);
+                }
+                self.parked.retain(|(s, _)| s.worker != worker);
+                self.drop_worker(ctx, worker, true);
+            }
+            Msg::CapacityNotify {
+                app,
+                unit,
+                unit_resource,
+                delta,
+            } => {
+                self.envelope.apply(app, unit, unit_resource, delta);
+                if delta < 0 {
+                    self.check_capacity(ctx, app);
+                }
+            }
+            Msg::AgentCapacitySnapshot { allocations } => {
+                self.envelope.replace(allocations);
+            }
+            Msg::WorkerListReply {
+                app,
+                machine: _,
+                workers,
+            } => {
+                // Kill adopted workers the master no longer expects.
+                let expected: Vec<WorkerId> = workers.iter().map(|&(w, _)| w).collect();
+                let stale: Vec<WorkerId> = self
+                    .workers
+                    .iter()
+                    .filter(|(id, w)| w.spec.app == app && !expected.contains(id))
+                    .map(|(&id, _)| id)
+                    .collect();
+                for w in stale {
+                    ctx.metrics().count("fa.stale_workers_killed", 1);
+                    self.drop_worker(ctx, w, true);
+                }
+            }
+            Msg::FlowDone { tag, failed } => self.finish_download(ctx, tag, failed),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        match tag {
+            TIMER_HB => {
+                self.resolve_master(ctx);
+                let health = self.health(ctx);
+                if let Some(fm) = self.fm {
+                    ctx.send(
+                        fm,
+                        Msg::AgentHeartbeat {
+                            machine: self.machine,
+                            health,
+                        },
+                    );
+                }
+                self.beats += 1;
+                if self.beats % ENVELOPE_REFRESH_BEATS == 0 {
+                    // Periodic envelope repair: the master answers with an
+                    // authoritative AgentCapacitySnapshot.
+                    self.send_allocation_report(ctx);
+                }
+                ctx.timer(self.cfg.heartbeat_interval, TIMER_HB);
+            }
+            TIMER_SWEEP => {
+                self.sweep(ctx);
+                ctx.timer(self.cfg.sweep_interval, TIMER_SWEEP);
+            }
+            TIMER_PARKED => {
+                let parked = std::mem::take(&mut self.parked);
+                for (spec, attempts) in parked {
+                    let allowed = self.envelope.allowed(spec.app, spec.unit);
+                    let running = self.running_count(spec.app, spec.unit);
+                    if running < allowed {
+                        if ctx.launch_ok(self.m()) {
+                            self.start_or_download(ctx, spec);
+                        } else {
+                            self.launch_failures_since_hb += 1;
+                            ctx.send(
+                                spec.master,
+                                Msg::WorkerStartFailed {
+                                    worker: spec.worker,
+                                    machine: self.machine,
+                                    reason: "machine cannot launch processes".into(),
+                                },
+                            );
+                        }
+                    } else if attempts >= 3 {
+                        ctx.metrics().count("fa.start_rejected_capacity", 1);
+                        ctx.send(
+                            spec.master,
+                            Msg::WorkerStartFailed {
+                                worker: spec.worker,
+                                machine: self.machine,
+                                reason: "insufficient granted capacity".into(),
+                            },
+                        );
+                    } else {
+                        self.parked.push((spec, attempts + 1));
+                    }
+                }
+                if !self.parked.is_empty() {
+                    ctx.timer(SimDuration::from_millis(500), TIMER_PARKED);
+                }
+            }
+            t if t >= GRACE_BASE => {
+                let app = AppId((t - GRACE_BASE) as u32);
+                self.enforce_capacity(ctx, app);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuxi_sim::{Actor as SimActor, SimTime, World, WorldConfig};
+    use std::cell::RefCell;
+
+    /// Sink actor standing in for the FuxiMaster / application master.
+    struct Sink {
+        log: Rc<RefCell<Vec<Msg>>>,
+    }
+    impl SimActor<Msg> for Sink {
+        fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ActorId, msg: Msg) {
+            self.log.borrow_mut().push(msg);
+        }
+    }
+
+    /// Inert worker actor the factory produces.
+    struct NopWorker;
+    impl SimActor<Msg> for NopWorker {
+        fn on_message(&mut self, _: &mut Ctx<'_, Msg>, _: ActorId, _: Msg) {}
+    }
+
+    fn factories() -> (MasterFactory, WorkerFactory) {
+        let mf: MasterFactory = Rc::new(|_launch| Box::new(NopWorker));
+        let wf: WorkerFactory = Rc::new(|_launch| Box::new(NopWorker));
+        (mf, wf)
+    }
+
+    struct Harness {
+        world: World<Msg>,
+        agent: ActorId,
+        master_log: Rc<RefCell<Vec<Msg>>>,
+        am: ActorId,
+        am_log: Rc<RefCell<Vec<Msg>>>,
+    }
+
+    fn setup() -> Harness {
+        let mut world: World<Msg> = World::new(WorldConfig::uniform(4, 2, 3));
+        let naming = NameRegistry::new();
+        let master_log = Rc::new(RefCell::new(Vec::new()));
+        let fm = world.spawn(None, Box::new(Sink { log: master_log.clone() }));
+        naming.register(fuxi_apsara::naming::FUXI_MASTER, fm);
+        let am_log = Rc::new(RefCell::new(Vec::new()));
+        let am = world.spawn(None, Box::new(Sink { log: am_log.clone() }));
+        let (mf, wf) = factories();
+        let agent = world.spawn(
+            Some(1),
+            Box::new(FuxiAgent::new(
+                MachineId(1),
+                ResourceVec::cores_mb(12, 96 * 1024),
+                AgentConfig::default(),
+                naming,
+                mf,
+                wf,
+            )),
+        );
+        Harness {
+            world,
+            agent,
+            master_log,
+            am,
+            am_log,
+        }
+    }
+
+    fn spec(h: &Harness, worker: u64, usage_factor: f64) -> WorkerSpec {
+        WorkerSpec {
+            app: AppId(1),
+            worker: WorkerId(worker),
+            unit: UnitId(0),
+            limit: ResourceVec::new(2000, 8192),
+            binary_mb: 10.0,
+            master: h.am,
+            usage_factor,
+        }
+    }
+
+    fn grant_capacity(h: &mut Harness, count: i64) {
+        h.world.send_external(
+            h.agent,
+            Msg::CapacityNotify {
+                app: AppId(1),
+                unit: UnitId(0),
+                unit_resource: ResourceVec::new(2000, 8192),
+                delta: count,
+            },
+        );
+    }
+
+    #[test]
+    fn agent_reports_in_and_heartbeats() {
+        let mut h = setup();
+        h.world.run_until(SimTime::from_secs(10));
+        let log = h.master_log.borrow();
+        assert!(log.iter().any(|m| matches!(m, Msg::AgentHello { machine: MachineId(1), .. })));
+        let beats = log
+            .iter()
+            .filter(|m| matches!(m, Msg::AgentHeartbeat { .. }))
+            .count();
+        assert!(beats >= 4, "2s heartbeats over 10s: {beats}");
+    }
+
+    #[test]
+    fn capacity_ensurance_starts_only_within_envelope() {
+        let mut h = setup();
+        grant_capacity(&mut h, 1);
+        h.world.send_external(h.agent, Msg::StartWorker { spec: spec(&h, 1, 0.4) });
+        h.world.send_external(h.agent, Msg::StartWorker { spec: spec(&h, 2, 0.4) });
+        h.world.run_until(SimTime::from_secs(10));
+        let log = h.am_log.borrow();
+        let started = log
+            .iter()
+            .filter(|m| matches!(m, Msg::WorkerStarted { .. }))
+            .count();
+        let failed = log
+            .iter()
+            .filter(|m| matches!(m, Msg::WorkerStartFailed { .. }))
+            .count();
+        assert_eq!(started, 1, "only one container granted");
+        assert_eq!(failed, 1, "the second is rejected after park retries");
+    }
+
+    #[test]
+    fn parked_start_succeeds_when_capacity_arrives_late() {
+        let mut h = setup();
+        // StartWorker beats the CapacityNotify (the FM→AM→FA race).
+        h.world.send_external(h.agent, Msg::StartWorker { spec: spec(&h, 1, 0.4) });
+        h.world.at(SimTime::from_millis(400), |_w| {});
+        let agent = h.agent;
+        h.world.at(SimTime::from_millis(400), move |w| {
+            w.send_external(
+                agent,
+                Msg::CapacityNotify {
+                    app: AppId(1),
+                    unit: UnitId(0),
+                    unit_resource: ResourceVec::new(2000, 8192),
+                    delta: 1,
+                },
+            );
+        });
+        h.world.run_until(SimTime::from_secs(10));
+        let log = h.am_log.borrow();
+        assert!(
+            log.iter().any(|m| matches!(m, Msg::WorkerStarted { worker: WorkerId(1), .. })),
+            "parked request retried and succeeded: {log:?}"
+        );
+    }
+
+    #[test]
+    fn launch_failure_reported_when_machine_broken() {
+        let mut h = setup();
+        h.world.set_launch_ok(1, false);
+        grant_capacity(&mut h, 1);
+        h.world.send_external(h.agent, Msg::StartWorker { spec: spec(&h, 1, 0.4) });
+        h.world.run_until(SimTime::from_secs(5));
+        assert!(h
+            .am_log
+            .borrow()
+            .iter()
+            .any(|m| matches!(m, Msg::WorkerStartFailed { .. })));
+        // The sickness shows up in heartbeat health telemetry.
+        let log = h.master_log.borrow();
+        let sick = log.iter().any(|m| match m {
+            Msg::AgentHeartbeat { health, .. } => {
+                health.recent_launch_failures > 0 || health.disk_ok_ratio < 1.0
+            }
+            _ => false,
+        });
+        assert!(sick, "health report reflects launch failures");
+    }
+
+    #[test]
+    fn overload_kills_worst_offender() {
+        let mut h = setup();
+        grant_capacity(&mut h, 6);
+        // 6 workers × {2c, 8GB} limits on a 12c/96GB machine; usage factor
+        // 1.2 → 14.4 cores used > 1.05 × 12: overloaded.
+        for i in 1..=6 {
+            h.world
+                .send_external(h.agent, Msg::StartWorker { spec: spec(&h, i, 1.2) });
+        }
+        h.world.run_until(SimTime::from_secs(15));
+        let log = h.am_log.borrow();
+        let killed = log
+            .iter()
+            .filter(|m| matches!(m, Msg::WorkerExited { reason: FailReason::Killed, .. }))
+            .count();
+        assert!(killed >= 1, "overload policy killed someone");
+        assert_eq!(
+            h.world.metrics().counter("fa.overload_kills"),
+            killed as u64
+        );
+    }
+
+    #[test]
+    fn capacity_decrease_enforced_after_grace() {
+        let mut h = setup();
+        grant_capacity(&mut h, 2);
+        h.world.send_external(h.agent, Msg::StartWorker { spec: spec(&h, 1, 0.4) });
+        h.world.send_external(h.agent, Msg::StartWorker { spec: spec(&h, 2, 0.4) });
+        h.world.run_until(SimTime::from_secs(5));
+        // FuxiMaster revokes one container; the AM (our sink) ignores the
+        // warning, so the agent kills one worker after the grace period.
+        grant_capacity(&mut h, -1);
+        h.world.run_until(SimTime::from_secs(15));
+        let log = h.am_log.borrow();
+        assert!(log.iter().any(|m| matches!(m, Msg::CapacityWarning { .. })),
+            "AM was warned first");
+        assert!(
+            log.iter()
+                .any(|m| matches!(m, Msg::WorkerExited { reason: FailReason::Killed, .. })),
+            "compulsory kill after grace: {log:?}"
+        );
+        assert_eq!(h.world.metrics().counter("fa.capacity_kills"), 1);
+    }
+
+    #[test]
+    fn binary_cache_downloads_once_per_app() {
+        let mut h = setup();
+        grant_capacity(&mut h, 4);
+        for i in 1..=4 {
+            h.world
+                .send_external(h.agent, Msg::StartWorker { spec: spec(&h, i, 0.4) });
+        }
+        h.world.run_until(SimTime::from_secs(10));
+        let started = h
+            .am_log
+            .borrow()
+            .iter()
+            .filter(|m| matches!(m, Msg::WorkerStarted { .. }))
+            .count();
+        assert_eq!(started, 4);
+        // One flow for the shared binary (plus none for the cached starts).
+        assert_eq!(h.world.metrics().counter("flow.started"), 1);
+    }
+}

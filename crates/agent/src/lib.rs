@@ -1,0 +1,97 @@
+#![warn(missing_docs)]
+//! # fuxi-agent — FuxiAgent
+//!
+//! The per-node daemon (paper Section 2.2): "a single FuxiAgent will run on
+//! each machine, mainly serving two-folded roles. The first is to collect
+//! local information and status periodically, and report them to FuxiMaster
+//! ... The second one is to ensure application processes to execute
+//! normally with the aid of process monitor, environment protection and
+//! process isolation."
+//!
+//! * [`agent`] — the agent actor: worker/JobMaster lifecycle, binary
+//!   download, heartbeats, failover adoption.
+//! * [`enforce`] — the isolation policies: resource-capacity ensurance,
+//!   the Cgroup-style overload kill rule, and sandbox bookkeeping.
+//!
+//! Because application masters and workers are defined by higher layers
+//! (the job framework), the agent launches them through injected
+//! *factories* — the simulation counterpart of exec'ing a downloaded
+//! binary.
+
+pub mod agent;
+pub mod enforce;
+
+pub use agent::{AgentConfig, FuxiAgent, MasterFactory, MasterLaunch, WorkerFactory, WorkerLaunch};
+pub use enforce::{pick_overload_victim, Envelope, Sandbox};
+
+use fuxi_proto::{AppId, JobId, ResourceVec, UnitId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// Metadata a process registers in its machine's process table (the
+/// simulation's `/proc`). A restarted agent reads these to adopt running
+/// processes ("during its failover, FuxiAgent firstly collects running
+/// processes started previously").
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub enum ProcMeta {
+    /// Worker.
+    Worker {
+        /// Application id.
+        app: AppId,
+        /// Worker id.
+        worker: WorkerId,
+        /// ScheduleUnit id.
+        unit: UnitId,
+        /// Resource limit enforced by the agent.
+        limit: ResourceVec,
+        /// Actor id of the worker's master (raw).
+        master: u32,
+        /// Fraction of the limit the process actually consumes.
+        usage_factor: f64,
+    },
+    /// Job master.
+    JobMaster {
+        /// Application id.
+        app: AppId,
+        /// Job id.
+        job: JobId,
+        /// Resource amount.
+        resource: ResourceVec,
+    },
+}
+
+impl ProcMeta {
+    /// Encode.
+    pub fn encode(&self) -> Vec<u8> {
+        serde_json::to_vec(self).expect("procmeta encodes")
+    }
+
+    /// Decode.
+    pub fn decode(bytes: &[u8]) -> Option<ProcMeta> {
+        serde_json::from_slice(bytes).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn procmeta_roundtrip() {
+        let m = ProcMeta::Worker {
+            app: AppId(1),
+            worker: WorkerId(2),
+            unit: UnitId(3),
+            limit: ResourceVec::new(500, 2048),
+            master: 77,
+            usage_factor: 0.4,
+        };
+        assert_eq!(ProcMeta::decode(&m.encode()), Some(m));
+        let j = ProcMeta::JobMaster {
+            app: AppId(1),
+            job: JobId(9),
+            resource: ResourceVec::cores_mb(1, 2048),
+        };
+        assert_eq!(ProcMeta::decode(&j.encode()), Some(j));
+        assert_eq!(ProcMeta::decode(b"garbage"), None);
+    }
+}

@@ -1,0 +1,84 @@
+//! Name service: well-known service names → current actor addresses.
+//!
+//! After a FuxiMaster failover the new primary registers itself under
+//! `"fuxi-master"`; agents and application masters re-resolve on their next
+//! heartbeat. Lookups are modelled as instantaneous shared state — in real
+//! Apsara clients cache name resolutions, and the failover-visible latency
+//! comes from lock leases and heartbeat intervals, which *are* simulated.
+
+use fuxi_sim::ActorId;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// Well-known name of the FuxiMaster service.
+pub const FUXI_MASTER: &str = "fuxi-master";
+
+/// A cloneable handle to the shared name table.
+#[derive(Debug, Clone, Default)]
+pub struct NameRegistry {
+    inner: Rc<RefCell<BTreeMap<String, ActorId>>>,
+}
+
+impl NameRegistry {
+    /// Creates a new instance with the given configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) the address for `name`.
+    pub fn register(&self, name: &str, id: ActorId) {
+        self.inner.borrow_mut().insert(name.to_owned(), id);
+    }
+
+    /// Removes a registration if `id` still owns it.
+    pub fn deregister(&self, name: &str, id: ActorId) {
+        let mut map = self.inner.borrow_mut();
+        if map.get(name) == Some(&id) {
+            map.remove(name);
+        }
+    }
+
+    /// Resolves a name.
+    pub fn lookup(&self, name: &str) -> Option<ActorId> {
+        self.inner.borrow().get(name).copied()
+    }
+
+    /// Resolves the FuxiMaster address.
+    pub fn master(&self) -> Option<ActorId> {
+        self.lookup(FUXI_MASTER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_lookup_replace() {
+        let reg = NameRegistry::new();
+        assert_eq!(reg.master(), None);
+        reg.register(FUXI_MASTER, ActorId(1));
+        assert_eq!(reg.master(), Some(ActorId(1)));
+        reg.register(FUXI_MASTER, ActorId(2));
+        assert_eq!(reg.master(), Some(ActorId(2)));
+    }
+
+    #[test]
+    fn deregister_only_by_owner() {
+        let reg = NameRegistry::new();
+        reg.register("svc", ActorId(1));
+        reg.deregister("svc", ActorId(9));
+        assert_eq!(reg.lookup("svc"), Some(ActorId(1)));
+        reg.deregister("svc", ActorId(1));
+        assert_eq!(reg.lookup("svc"), None);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let a = NameRegistry::new();
+        let b = a.clone();
+        a.register("x", ActorId(7));
+        assert_eq!(b.lookup("x"), Some(ActorId(7)));
+    }
+}

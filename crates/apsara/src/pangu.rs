@@ -1,0 +1,264 @@
+//! A model of the Pangu distributed file system.
+//!
+//! Job inputs in the paper are `pangu://` URIs (Figure 6). What the
+//! scheduler actually consumes from the DFS is *placement*: which machines
+//! hold replicas of which chunk, so map instances can be scheduled where
+//! their data lives ("computation at best happens where data resides").
+//! This module models exactly that: files are split into fixed-size chunks
+//! and replicas are placed with the classic policy — first replica on a
+//! random machine, second in the same rack, third in a remote rack.
+
+use fuxi_proto::topology::Topology;
+use fuxi_proto::MachineId;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// One chunk of a file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Chunk {
+    /// Chunk size, MB.
+    pub size_mb: f64,
+    /// Machines holding a replica, primary first.
+    pub replicas: Vec<MachineId>,
+}
+
+/// A file: an ordered list of chunks.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PanguFile {
+    /// Ordered chunks of the file.
+    pub chunks: Vec<Chunk>,
+}
+
+impl PanguFile {
+    /// Total mb.
+    pub fn total_mb(&self) -> f64 {
+        self.chunks.iter().map(|c| c.size_mb).sum()
+    }
+}
+
+/// The file system model.
+#[derive(Debug)]
+pub struct PanguFs {
+    files: BTreeMap<String, PanguFile>,
+    rng: SmallRng,
+}
+
+impl PanguFs {
+    /// Creates a new instance with the given configuration.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            files: BTreeMap::new(),
+            rng: SmallRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a file of `total_mb` in `chunk_mb` chunks with `replication`
+    /// replicas each, placed over live machines of `topo`.
+    pub fn create(
+        &mut self,
+        name: &str,
+        total_mb: f64,
+        chunk_mb: f64,
+        replication: usize,
+        topo: &Topology,
+    ) -> &PanguFile {
+        let n_chunks = (total_mb / chunk_mb).ceil().max(1.0) as usize;
+        let mut chunks = Vec::with_capacity(n_chunks);
+        let mut remaining = total_mb;
+        for _ in 0..n_chunks {
+            let size = chunk_mb.min(remaining);
+            remaining -= size;
+            chunks.push(Chunk {
+                size_mb: size,
+                replicas: self.place_replicas(replication, topo),
+            });
+        }
+        self.files.insert(name.to_owned(), PanguFile { chunks });
+        &self.files[name]
+    }
+
+    fn place_replicas(&mut self, replication: usize, topo: &Topology) -> Vec<MachineId> {
+        let n = topo.n_machines() as u32;
+        let mut replicas = Vec::with_capacity(replication);
+        // Primary: uniform random machine.
+        let primary = MachineId(self.rng.gen_range(0..n));
+        replicas.push(primary);
+        if replication >= 2 {
+            // Second: same rack as primary, different machine when possible.
+            let rack = topo.rack_of(primary);
+            let peers: Vec<MachineId> = topo
+                .machines_in_rack(rack)
+                .iter()
+                .copied()
+                .filter(|&m| m != primary)
+                .collect();
+            if let Some(&m) = peers.as_slice().choose(&mut self.rng) {
+                replicas.push(m);
+            }
+        }
+        while replicas.len() < replication {
+            // Remaining: random machines in other racks.
+            let m = MachineId(self.rng.gen_range(0..n));
+            if !replicas.contains(&m) && topo.rack_of(m) != topo.rack_of(primary) {
+                replicas.push(m);
+            } else if topo.n_racks() == 1 && !replicas.contains(&m) {
+                replicas.push(m);
+            }
+        }
+        replicas
+    }
+
+    /// Get.
+    pub fn get(&self, name: &str) -> Option<&PanguFile> {
+        self.files.get(name)
+    }
+
+    /// Delete.
+    pub fn delete(&mut self, name: &str) {
+        self.files.remove(name);
+    }
+
+    /// Files matching a `pangu://` glob-free prefix pattern (the paper's
+    /// `FilePattern`). A trailing `*` matches any suffix.
+    pub fn matching(&self, pattern: &str) -> Vec<String> {
+        let pat = pattern.strip_prefix("pangu://").unwrap_or(pattern);
+        if let Some(prefix) = pat.strip_suffix('*') {
+            self.files
+                .keys()
+                .filter(|k| k.starts_with(prefix))
+                .cloned()
+                .collect()
+        } else {
+            self.files.keys().filter(|k| *k == pat).cloned().collect()
+        }
+    }
+}
+
+/// Cloneable handle to a shared [`PanguFs`].
+#[derive(Debug, Clone)]
+pub struct PanguHandle {
+    inner: Rc<RefCell<PanguFs>>,
+}
+
+impl PanguHandle {
+    /// Creates a new instance with the given configuration.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            inner: Rc::new(RefCell::new(PanguFs::new(seed))),
+        }
+    }
+
+    /// Create.
+    pub fn create(
+        &self,
+        name: &str,
+        total_mb: f64,
+        chunk_mb: f64,
+        replication: usize,
+        topo: &Topology,
+    ) {
+        self.inner
+            .borrow_mut()
+            .create(name, total_mb, chunk_mb, replication, topo);
+    }
+
+    /// File.
+    pub fn file(&self, name: &str) -> Option<PanguFile> {
+        self.inner.borrow().get(name).cloned()
+    }
+
+    /// Matching.
+    pub fn matching(&self, pattern: &str) -> Vec<String> {
+        self.inner.borrow().matching(pattern)
+    }
+
+    /// Delete.
+    pub fn delete(&self, name: &str) {
+        self.inner.borrow_mut().delete(name);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fuxi_proto::topology::{MachineSpec, TopologyBuilder};
+
+    fn topo() -> Topology {
+        TopologyBuilder::new()
+            .uniform(5, 10, MachineSpec::default())
+            .build()
+    }
+
+    #[test]
+    fn create_splits_into_chunks() {
+        let t = topo();
+        let mut fs = PanguFs::new(1);
+        let f = fs.create("input", 1000.0, 256.0, 3, &t);
+        assert_eq!(f.chunks.len(), 4);
+        assert!((f.total_mb() - 1000.0).abs() < 1e-9);
+        assert!((f.chunks[3].size_mb - 232.0).abs() < 1e-9, "last chunk is the remainder");
+    }
+
+    #[test]
+    fn replica_policy_rack_aware() {
+        let t = topo();
+        let mut fs = PanguFs::new(2);
+        let f = fs.create("input", 25600.0, 256.0, 3, &t).clone();
+        for c in &f.chunks {
+            assert_eq!(c.replicas.len(), 3);
+            let r0 = t.rack_of(c.replicas[0]);
+            let r1 = t.rack_of(c.replicas[1]);
+            let r2 = t.rack_of(c.replicas[2]);
+            assert_eq!(r0, r1, "second replica shares the primary's rack");
+            assert_ne!(r0, r2, "third replica is off-rack");
+            assert_ne!(c.replicas[0], c.replicas[1]);
+        }
+    }
+
+    #[test]
+    fn placement_spreads_over_cluster() {
+        let t = topo();
+        let mut fs = PanguFs::new(3);
+        let f = fs.create("big", 100.0 * 256.0, 256.0, 1, &t).clone();
+        let distinct: std::collections::HashSet<_> =
+            f.chunks.iter().map(|c| c.replicas[0]).collect();
+        assert!(distinct.len() > 25, "100 chunks should hit >25 of 50 machines");
+    }
+
+    #[test]
+    fn pattern_matching() {
+        let t = topo();
+        let mut fs = PanguFs::new(4);
+        fs.create("logs/day1", 10.0, 10.0, 1, &t);
+        fs.create("logs/day2", 10.0, 10.0, 1, &t);
+        fs.create("other", 10.0, 10.0, 1, &t);
+        assert_eq!(fs.matching("pangu://logs/*").len(), 2);
+        assert_eq!(fs.matching("pangu://other").len(), 1);
+        assert_eq!(fs.matching("pangu://nope*").len(), 0);
+    }
+
+    #[test]
+    fn handle_shares_state() {
+        let t = topo();
+        let h = PanguHandle::new(5);
+        h.create("f", 100.0, 50.0, 2, &t);
+        let h2 = h.clone();
+        assert_eq!(h2.file("f").unwrap().chunks.len(), 2);
+        h2.delete("f");
+        assert!(h.file("f").is_none());
+    }
+
+    #[test]
+    fn single_rack_cluster_still_places() {
+        let t = TopologyBuilder::new()
+            .uniform(1, 5, MachineSpec::default())
+            .build();
+        let mut fs = PanguFs::new(6);
+        let f = fs.create("f", 256.0, 256.0, 3, &t).clone();
+        assert_eq!(f.chunks[0].replicas.len(), 3);
+    }
+}

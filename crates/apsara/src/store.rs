@@ -1,0 +1,197 @@
+//! Reliable checkpoint store.
+//!
+//! Backed by Pangu in production; modelled as always-available shared state
+//! here. FuxiMaster's hard-state checkpoints ("only hard states such as job
+//! description and cluster-level machine blacklist are recorded by a
+//! light-weighted checkpoint") and JobMaster snapshots live in it and
+//! survive any actor or machine failure.
+//!
+//! Write/read counters are kept so experiments can verify the *lightweight*
+//! claim — checkpoints happen only on job submit/stop, snapshots only on
+//! instance status change.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+#[derive(Debug, Default)]
+/// Checkpointstore.
+pub struct CheckpointStore {
+    data: BTreeMap<String, Vec<u8>>,
+    writes: u64,
+    reads: u64,
+    bytes_written: u64,
+}
+
+impl CheckpointStore {
+    /// Put.
+    pub fn put(&mut self, key: &str, value: Vec<u8>) {
+        self.writes += 1;
+        self.bytes_written += value.len() as u64;
+        self.data.insert(key.to_owned(), value);
+    }
+
+    /// Get.
+    pub fn get(&mut self, key: &str) -> Option<Vec<u8>> {
+        self.reads += 1;
+        self.data.get(key).cloned()
+    }
+
+    /// Delete.
+    pub fn delete(&mut self, key: &str) {
+        self.data.remove(key);
+    }
+
+    /// Contains.
+    pub fn contains(&self, key: &str) -> bool {
+        self.data.contains_key(key)
+    }
+
+    /// Keys with a given prefix (e.g. all job checkpoints).
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.data
+            .keys()
+            .filter(|k| k.starts_with(prefix))
+            .cloned()
+            .collect()
+    }
+
+    /// Writes.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Reads.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Cloneable handle to a shared [`CheckpointStore`].
+#[derive(Debug, Clone, Default)]
+pub struct StoreHandle {
+    inner: Rc<RefCell<CheckpointStore>>,
+}
+
+impl StoreHandle {
+    /// Creates a new instance with the given configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Put.
+    pub fn put(&self, key: &str, value: Vec<u8>) {
+        self.inner.borrow_mut().put(key, value);
+    }
+
+    /// Put json.
+    pub fn put_json<T: serde::Serialize>(&self, key: &str, value: &T) {
+        let bytes = serde_json::to_vec(value).expect("checkpoint serialization");
+        self.put(key, bytes);
+    }
+
+    /// Get.
+    pub fn get(&self, key: &str) -> Option<Vec<u8>> {
+        self.inner.borrow_mut().get(key)
+    }
+
+    /// Get json.
+    pub fn get_json<T: serde::de::DeserializeOwned>(&self, key: &str) -> Option<T> {
+        self.get(key)
+            .and_then(|bytes| serde_json::from_slice(&bytes).ok())
+    }
+
+    /// Delete.
+    pub fn delete(&self, key: &str) {
+        self.inner.borrow_mut().delete(key);
+    }
+
+    /// Contains.
+    pub fn contains(&self, key: &str) -> bool {
+        self.inner.borrow().contains(key)
+    }
+
+    /// Keys with prefix.
+    pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
+        self.inner.borrow().keys_with_prefix(prefix)
+    }
+
+    /// Writes.
+    pub fn writes(&self) -> u64 {
+        self.inner.borrow().writes()
+    }
+
+    /// Reads.
+    pub fn reads(&self) -> u64 {
+        self.inner.borrow().reads()
+    }
+
+    /// Bytes written.
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.borrow().bytes_written()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::{Deserialize, Serialize};
+
+    #[test]
+    fn put_get_delete() {
+        let s = StoreHandle::new();
+        assert_eq!(s.get("a"), None);
+        s.put("a", vec![1, 2]);
+        assert_eq!(s.get("a"), Some(vec![1, 2]));
+        assert!(s.contains("a"));
+        s.delete("a");
+        assert!(!s.contains("a"));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        #[derive(Serialize, Deserialize, PartialEq, Debug)]
+        struct Ck {
+            jobs: Vec<u32>,
+        }
+        let s = StoreHandle::new();
+        s.put_json("ck", &Ck { jobs: vec![1, 2, 3] });
+        let back: Ck = s.get_json("ck").unwrap();
+        assert_eq!(back, Ck { jobs: vec![1, 2, 3] });
+        assert!(s.get_json::<Ck>("missing").is_none());
+    }
+
+    #[test]
+    fn prefix_listing_and_counters() {
+        let s = StoreHandle::new();
+        s.put("job/1", vec![0]);
+        s.put("job/2", vec![0; 10]);
+        s.put("blacklist", vec![0]);
+        assert_eq!(s.keys_with_prefix("job/"), vec!["job/1", "job/2"]);
+        assert_eq!(s.writes(), 3);
+        assert_eq!(s.bytes_written(), 12);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let a = StoreHandle::new();
+        let b = a.clone();
+        a.put("k", vec![9]);
+        assert_eq!(b.get("k"), Some(vec![9]));
+    }
+}

@@ -1,0 +1,20 @@
+#![warn(missing_docs)]
+//! # fuxi-baseline
+//!
+//! The scheduler designs Fuxi is evaluated against (paper Sections 1, 6):
+//!
+//! * [`yarn`] — a YARN-like resource manager: heartbeat-driven container
+//!   allocation, per-task containers reclaimed on completion, application
+//!   masters re-asserting outstanding asks every heartbeat. Pairs with the
+//!   job framework's `container_reuse = false` mode for end-to-end
+//!   comparisons and with the engine-level ablation benches.
+//! * [`hadoop1`] — a Hadoop-1.0-style JobTracker with the *linear* slot
+//!   resource model ("still inherits the linear resource model as in
+//!   Hadoop 1.0"): fixed map/reduce slots per node regardless of actual
+//!   multi-dimensional demand.
+
+pub mod hadoop1;
+pub mod yarn;
+
+pub use hadoop1::{Hadoop1Config, Hadoop1Scheduler, SlotKind};
+pub use yarn::{YarnAllocation, YarnConfig, YarnScheduler};

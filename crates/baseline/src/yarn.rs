@@ -1,0 +1,243 @@
+//! A YARN-like resource manager (baseline).
+//!
+//! Differences from Fuxi's engine, per the paper:
+//!
+//! * **Heartbeat-driven**: allocation decisions happen when a node manager
+//!   heartbeats, not when resources change — so a freed container waits on
+//!   average half a heartbeat interval before reuse.
+//! * **Per-task containers**: "whenever a task completes, the node manager
+//!   always reclaims back the resources, even though the application master
+//!   has more ready tasks to execute."
+//! * **Repeated asks**: pending requests are re-asserted on every AM
+//!   heartbeat rather than stated once incrementally; the message-volume
+//!   ablation counts these.
+
+use fuxi_proto::{AppId, MachineId, ResourceVec};
+use std::collections::VecDeque;
+
+/// Baseline tuning.
+#[derive(Debug, Clone)]
+pub struct YarnConfig {
+    /// Node-manager heartbeat interval, seconds (YARN default: 1 s).
+    pub nm_heartbeat_s: f64,
+    /// AM → RM heartbeat (ask re-assertion) interval, seconds.
+    pub am_heartbeat_s: f64,
+}
+
+impl Default for YarnConfig {
+    fn default() -> Self {
+        Self {
+            nm_heartbeat_s: 1.0,
+            am_heartbeat_s: 1.0,
+        }
+    }
+}
+
+/// One granted container.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YarnAllocation {
+    /// Application id.
+    pub app: AppId,
+    /// Machine this applies to.
+    pub machine: MachineId,
+    /// Resource amount.
+    pub resource: ResourceVec,
+    /// Seconds the ask waited in the queue before this grant.
+    pub queued_s: f64,
+}
+
+#[derive(Debug)]
+struct Ask {
+    app: AppId,
+    resource: ResourceVec,
+    remaining: u64,
+    preferred: Option<MachineId>,
+    asked_at_s: f64,
+}
+
+/// The YARN-like scheduler core.
+pub struct YarnScheduler {
+    cfg: YarnConfig,
+    free: Vec<ResourceVec>,
+    queue: VecDeque<Ask>,
+    /// Counters for the ablation benches.
+    pub messages: u64,
+    /// Containers allocated so far.
+    pub allocations: u64,
+    /// Queue entries examined across all heartbeats.
+    pub scan_steps: u64,
+}
+
+impl YarnScheduler {
+    /// Creates a new instance with the given configuration.
+    pub fn new(cfg: YarnConfig, capacities: Vec<ResourceVec>) -> Self {
+        Self {
+            cfg,
+            free: capacities,
+            queue: VecDeque::new(),
+            messages: 0,
+            allocations: 0,
+            scan_steps: 0,
+        }
+    }
+
+    /// Config.
+    pub fn config(&self) -> &YarnConfig {
+        &self.cfg
+    }
+
+    /// AM submits (or re-submits) an ask. YARN AMs repeat their full
+    /// outstanding ask every AM heartbeat; callers model that by invoking
+    /// this again with the still-outstanding count (the message counter
+    /// ticks every time).
+    pub fn ask(
+        &mut self,
+        now_s: f64,
+        app: AppId,
+        resource: ResourceVec,
+        count: u64,
+        preferred: Option<MachineId>,
+    ) {
+        self.messages += 1;
+        if count == 0 {
+            return;
+        }
+        // Replace any previous ask from this app for the same shape.
+        if let Some(existing) = self
+            .queue
+            .iter_mut()
+            .find(|a| a.app == app && a.resource == resource && a.preferred == preferred)
+        {
+            existing.remaining = count;
+            return;
+        }
+        self.queue.push_back(Ask {
+            app,
+            resource,
+            remaining: count,
+            preferred,
+            asked_at_s: now_s,
+        });
+    }
+
+    /// Node `m` heartbeats with its current free resources implied by the
+    /// scheduler's books; the RM hands out whatever fits, FIFO. Returns the
+    /// allocations made.
+    pub fn node_heartbeat(&mut self, now_s: f64, m: MachineId) -> Vec<YarnAllocation> {
+        self.messages += 1;
+        let mut out = Vec::new();
+        let mut i = 0;
+        while i < self.queue.len() {
+            self.scan_steps += 1;
+            let ask = &mut self.queue[i];
+            // Strict locality first pass is not modelled: YARN's delay
+            // scheduling eventually relaxes to any node; we grant anywhere,
+            // counting a locality miss when a preference existed.
+            let fits = ask.resource.fits_in(&self.free[m.0 as usize]);
+            if fits && ask.remaining > 0 {
+                self.free[m.0 as usize].saturating_sub(&ask.resource);
+                ask.remaining -= 1;
+                self.allocations += 1;
+                out.push(YarnAllocation {
+                    app: ask.app,
+                    machine: m,
+                    resource: ask.resource.clone(),
+                    queued_s: now_s - ask.asked_at_s,
+                });
+                if ask.remaining == 0 {
+                    self.queue.remove(i);
+                    continue;
+                }
+            } else {
+                i += 1;
+            }
+            if self.free[m.0 as usize].is_zero() {
+                break;
+            }
+        }
+        out
+    }
+
+    /// A container completed: the node manager reclaims it. The AM must ask
+    /// again for further work (the Fuxi/YARN difference under test).
+    pub fn release(&mut self, m: MachineId, resource: &ResourceVec) {
+        self.messages += 1;
+        self.free[m.0 as usize].add(resource);
+    }
+
+    /// Queue len.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Free on.
+    pub fn free_on(&self, m: MachineId) -> &ResourceVec {
+        &self.free[m.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(n: usize) -> YarnScheduler {
+        YarnScheduler::new(
+            YarnConfig::default(),
+            vec![ResourceVec::cores_mb(12, 96 * 1024); n],
+        )
+    }
+
+    #[test]
+    fn allocations_happen_only_on_heartbeat() {
+        let mut s = sched(2);
+        s.ask(0.0, AppId(1), ResourceVec::new(1000, 2048), 3, None);
+        assert_eq!(s.queue_len(), 1);
+        let a = s.node_heartbeat(1.0, MachineId(0));
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|x| (x.queued_s - 1.0).abs() < 1e-9));
+        assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut s = sched(1);
+        let big = ResourceVec::cores_mb(12, 96 * 1024);
+        s.ask(0.0, AppId(1), big.clone(), 1, None);
+        s.ask(0.0, AppId(2), ResourceVec::new(1000, 1024), 1, None);
+        let a = s.node_heartbeat(1.0, MachineId(0));
+        // app1's machine-sized ask goes first, leaving nothing for app2.
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].app, AppId(1));
+        assert_eq!(s.queue_len(), 1);
+    }
+
+    #[test]
+    fn release_then_next_heartbeat_reuses() {
+        let mut s = sched(1);
+        let unit = ResourceVec::cores_mb(12, 96 * 1024);
+        s.ask(0.0, AppId(1), unit.clone(), 1, None);
+        let a = s.node_heartbeat(1.0, MachineId(0));
+        assert_eq!(a.len(), 1);
+        s.ask(1.0, AppId(2), unit.clone(), 1, None);
+        // Nothing free until release + heartbeat.
+        assert!(s.node_heartbeat(2.0, MachineId(0)).is_empty());
+        s.release(MachineId(0), &unit);
+        let b = s.node_heartbeat(3.0, MachineId(0));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0].app, AppId(2));
+        assert!((b[0].queued_s - 2.0).abs() < 1e-9, "waited for hb after release");
+    }
+
+    #[test]
+    fn repeated_asks_update_in_place_but_count_messages() {
+        let mut s = sched(1);
+        let r = ResourceVec::new(1000, 2048);
+        s.ask(0.0, AppId(1), r.clone(), 5, None);
+        let m0 = s.messages;
+        for t in 1..=10 {
+            s.ask(t as f64, AppId(1), r.clone(), 5, None);
+        }
+        assert_eq!(s.queue_len(), 1, "asks coalesce");
+        assert_eq!(s.messages, m0 + 10, "but every re-assertion is a message");
+    }
+}

@@ -1,0 +1,83 @@
+//! Criterion ablation: Fuxi's event-driven engine vs. the YARN-like
+//! heartbeat scheduler and the Hadoop-1.0 slot JobTracker on the same
+//! allocate/complete/release cycle.
+//!
+//! These measure *CPU cost per cycle*. YARN's per-cycle CPU is cheap — its
+//! real cost is the **latency** of waiting for the next heartbeat and the
+//! repeated full asks, which the end-to-end comparisons measure
+//! (`table4_graysort`, `tests/scheduler_behavior.rs::container_reuse_*`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fuxi_baseline::{Hadoop1Config, Hadoop1Scheduler, SlotKind, YarnConfig, YarnScheduler};
+use fuxi_core::quota::QuotaManager;
+use fuxi_core::scheduler::{Engine, EngineConfig};
+use fuxi_proto::request::{RequestDelta, ScheduleUnitDef};
+use fuxi_proto::topology::{MachineSpec, TopologyBuilder};
+use fuxi_proto::{AppId, MachineId, Priority, QuotaGroupId, ResourceVec, UnitId};
+
+const MACHINES: usize = 1000;
+
+fn bench(c: &mut Criterion) {
+    let unit = ResourceVec::new(500, 2048);
+
+    c.bench_function("cycle_fuxi_engine", |b| {
+        let topo = TopologyBuilder::new()
+            .uniform(MACHINES / 50, 50, MachineSpec::default())
+            .build();
+        let mut e = Engine::new(topo, EngineConfig::default(), QuotaManager::new());
+        e.attach_app(
+            AppId(1),
+            QuotaGroupId(0),
+            vec![ScheduleUnitDef::new(UnitId(0), Priority(1000), unit.clone())],
+        );
+        e.apply_deltas(AppId(1), &[RequestDelta::cluster(UnitId(0), 20_000)]);
+        e.drain_events();
+        b.iter(|| {
+            // One task completes, its container is voluntarily returned,
+            // the queue hands it straight to the next waiter — one event.
+            if let Some((u, m, _, _)) = e.app_grants(AppId(1)).first().cloned() {
+                e.return_grant(AppId(1), u, m, 1);
+                e.apply_deltas(AppId(1), &[RequestDelta::cluster(UnitId(0), 1)]);
+            }
+            black_box(e.drain_events());
+        });
+    });
+
+    c.bench_function("cycle_yarn_heartbeat", |b| {
+        let caps = vec![MachineSpec::default().resources; MACHINES];
+        let mut y = YarnScheduler::new(YarnConfig::default(), caps);
+        y.ask(0.0, AppId(1), unit.clone(), 20_000, None);
+        for m in 0..MACHINES {
+            y.node_heartbeat(0.0, MachineId(m as u32));
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            // One task completes: NM reclaims, AM re-asserts its ask, and
+            // the grant waits for the node's next heartbeat scan.
+            let m = MachineId(i % MACHINES as u32);
+            i += 1;
+            y.release(m, &unit);
+            y.ask(i as f64, AppId(1), unit.clone(), 1, None);
+            black_box(y.node_heartbeat(i as f64, m));
+        });
+    });
+
+    c.bench_function("cycle_hadoop1_slots", |b| {
+        let mut h = Hadoop1Scheduler::new(Hadoop1Config::default(), MACHINES);
+        h.submit(AppId(1), SlotKind::Map, 20_000, unit.clone());
+        for m in 0..MACHINES {
+            h.tracker_heartbeat(MachineId(m as u32));
+        }
+        let mut i = 0u32;
+        b.iter(|| {
+            let m = MachineId(i % MACHINES as u32);
+            i += 1;
+            h.release(m, SlotKind::Map, &unit);
+            h.submit(AppId(1), SlotKind::Map, 1, unit.clone());
+            black_box(h.tracker_heartbeat(m));
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion: incremental-protocol primitives — delta application, delta
+//! merging (FuxiMaster's batch mode) and sequence-channel bookkeeping.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fuxi_proto::msg::{SeqReceiver, SeqSender};
+use fuxi_proto::request::{RequestDelta, RequestState, ScheduleUnitDef};
+use fuxi_proto::{MachineId, Priority, ResourceVec, UnitId};
+
+fn bench(c: &mut Criterion) {
+    c.bench_function("delta_apply_cluster_level", |b| {
+        let mut st = RequestState::new(ScheduleUnitDef::new(
+            UnitId(0),
+            Priority(1000),
+            ResourceVec::new(500, 2048),
+        ));
+        let up = RequestDelta::cluster(UnitId(0), 5);
+        let down = RequestDelta::cluster(UnitId(0), -5);
+        b.iter(|| {
+            st.apply(black_box(&up));
+            st.apply(black_box(&down));
+        });
+    });
+
+    c.bench_function("delta_apply_with_machine_hints", |b| {
+        let mut st = RequestState::new(ScheduleUnitDef::new(
+            UnitId(0),
+            Priority(1000),
+            ResourceVec::new(500, 2048),
+        ));
+        let up = RequestDelta {
+            unit: UnitId(0),
+            machine: (0..16).map(|i| (MachineId(i), 2i64)).collect(),
+            rack: vec![],
+            cluster: 32,
+            avoid_add: vec![],
+            avoid_remove: vec![],
+        };
+        let down = RequestDelta {
+            unit: UnitId(0),
+            machine: (0..16).map(|i| (MachineId(i), -2i64)).collect(),
+            rack: vec![],
+            cluster: -32,
+            avoid_add: vec![],
+            avoid_remove: vec![],
+        };
+        b.iter(|| {
+            st.apply(black_box(&up));
+            st.apply(black_box(&down));
+        });
+    });
+
+    c.bench_function("delta_merge_batching", |b| {
+        // FuxiMaster merges "frequently changing resource requests from one
+        // application" before applying them (§3.4).
+        let incoming: Vec<RequestDelta> = (0..32)
+            .map(|i| RequestDelta::machine(UnitId(0), MachineId(i % 8), 1))
+            .collect();
+        b.iter(|| {
+            let mut acc = RequestDelta::cluster(UnitId(0), 0);
+            for d in &incoming {
+                acc.merge(black_box(d));
+            }
+            black_box(acc)
+        });
+    });
+
+    c.bench_function("seq_channel_accept", |b| {
+        let mut tx = SeqSender::new();
+        let mut rx = SeqReceiver::new();
+        b.iter(|| {
+            let s = tx.next();
+            black_box(rx.accept(s));
+        });
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion: multi-dimensional resource vector operations (every grant
+//! decision runs several of these).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fuxi_proto::{ResourceVec, VirtualResourceId};
+
+fn bench(c: &mut Criterion) {
+    let machine = ResourceVec::cores_mb(24, 96 * 1024)
+        .with_virtual(VirtualResourceId(0), 5)
+        .with_virtual(VirtualResourceId(1), 10);
+    let unit = ResourceVec::new(500, 2048).with_virtual(VirtualResourceId(0), 1);
+    let physical_unit = ResourceVec::new(500, 2048);
+
+    c.bench_function("resvec_fits_in_7dim", |b| {
+        b.iter(|| black_box(unit.fits_in(black_box(&machine))))
+    });
+
+    c.bench_function("resvec_times_fitting_physical", |b| {
+        b.iter(|| black_box(physical_unit.times_fitting_in(black_box(&machine))))
+    });
+
+    c.bench_function("resvec_take_and_give", |b| {
+        let mut free = machine.clone();
+        b.iter(|| {
+            free.sub_scaled(black_box(&unit), 3);
+            free.add_scaled(black_box(&unit), 3);
+        })
+    });
+
+    c.bench_function("resvec_total_sum_5000", |b| {
+        let pool: Vec<ResourceVec> = (0..5000).map(|_| machine.clone()).collect();
+        b.iter(|| {
+            let mut t = ResourceVec::ZERO;
+            for v in &pool {
+                t.add(v);
+            }
+            black_box(t)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Regenerates **Table 1** — statistics on a production cluster — from the
+//! calibrated synthetic trace generator (the proprietary tracelog
+//! substitution documented in DESIGN.md).
+//!
+//! Run: `cargo run --release -p fuxi-bench --bin table1_production`
+
+use fuxi_cluster::report::print_table;
+use fuxi_workloads::trace::TraceConfig;
+
+fn main() {
+    let args = fuxi_bench::Args::parse(1.0, 0);
+    let cfg = TraceConfig {
+        jobs: ((91_990.0 * args.scale) as u64).max(1_000),
+        seed: args.seed,
+        ..TraceConfig::default()
+    };
+    println!(
+        "Generating synthetic production trace: {} jobs (paper: 91,990)...",
+        cfg.jobs
+    );
+    let s = cfg.generate();
+    print_table(
+        "Table 1: statistics on a production cluster (paper vs. reproduced)",
+        &["metric", "paper avg", "ours avg", "paper max", "ours max", "paper total", "ours total"],
+        &[
+            vec![
+                "Instance Number".into(),
+                "228/task".into(),
+                format!("{:.0}/task", s.instances_avg_per_task),
+                "99,937/task".into(),
+                format!("{}/task", s.instances_max_per_task),
+                "42,266,899".into(),
+                format!("{}", s.instances_total),
+            ],
+            vec![
+                "Worker Number".into(),
+                "87.92/task".into(),
+                format!("{:.2}/task", s.workers_avg_per_task),
+                "4,636/task".into(),
+                format!("{}/task", s.workers_max_per_task),
+                "16,295,167".into(),
+                format!("{}", s.workers_total),
+            ],
+            vec![
+                "Task Number".into(),
+                "2.0/job".into(),
+                format!("{:.1}/job", s.tasks_avg_per_job),
+                "150/job".into(),
+                format!("{}/job", s.tasks_max_per_job),
+                "185,444".into(),
+                format!("{}", s.tasks_total),
+            ],
+        ],
+    );
+    println!("\njobs: paper 91,990 | ours {}", s.jobs);
+    println!(
+        "(totals scale with --scale; at --scale 1.0 they are directly comparable)"
+    );
+}

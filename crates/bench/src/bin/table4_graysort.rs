@@ -1,0 +1,181 @@
+//! Regenerates **Table 4** — the GraySort comparison: Fuxi's sort
+//! throughput vs. a YARN/Hadoop-style baseline (per-task containers,
+//! reclaim-on-completion) on the same simulated hardware.
+//!
+//! Both runs execute a real two-phase external sort through the flow-level
+//! disk/NIC model; the paper's claim under test is the *ratio* (Fuxi won by
+//! 66.5%), since absolute numbers depend on the hardware model.
+//!
+//! Run: `cargo run --release -p fuxi-bench --bin table4_graysort -- [--scale 0.01]`
+//! Add `--petasort` for the §5.3 PetaSort run (1 PB over 2,800 nodes at
+//! the chosen scale; paper: 6 hours, "comparable with Google's result in
+//! 2008").
+
+use fuxi_cluster::report::print_table;
+use fuxi_cluster::{Cluster, ClusterConfig, SubmitOpts};
+use fuxi_proto::topology::MachineSpec;
+use fuxi_proto::ResourceVec;
+use fuxi_sim::SimTime;
+use fuxi_workloads::sortbench::{graysort_job, SortParams};
+
+struct SortOutcome {
+    seconds: f64,
+    tb: f64,
+}
+
+fn run_sort(scale: f64, seed: u64, container_reuse: bool, machines: usize) -> SortOutcome {
+    let jm = fuxi_job::JobMasterConfig {
+        container_reuse,
+        ..fuxi_job::JobMasterConfig::default()
+    };
+    let mut c = Cluster::new(ClusterConfig {
+        n_machines: machines,
+        rack_size: 50,
+        machine_spec: MachineSpec {
+            resources: ResourceVec::cores_mb(24, 96 * 1024),
+            ..MachineSpec::default()
+        },
+        seed,
+        jm,
+        ..ClusterConfig::default()
+    });
+    let p = SortParams::graysort(scale);
+    // Stage the input across the cluster (3-way replicated, 256 MB chunks).
+    c.pangu.create(&p.input_file, p.total_gb * 1024.0, p.chunk_mb, 3, &c.topo);
+    let desc = graysort_job(&p);
+    let job = c.submit(&desc, &SubmitOpts::default());
+    let done = c.run_until_job_done(job, SimTime::from_secs(200_000));
+    let (ok, at) = done.expect("sort completes");
+    assert!(ok, "sort must succeed");
+    let submitted = c.job_state(job).map(|s| s.submitted_s).unwrap_or(0.0);
+    SortOutcome {
+        seconds: at - submitted,
+        tb: p.total_gb / 1024.0,
+    }
+}
+
+fn run_petasort(scale: f64, seed: u64) {
+    // §5.3: "we also evaluate the PetaSort benchmark in a 2,800 nodes
+    // cluster ... the uncompressed data size is 1 Petabyte. The elapsed
+    // time is 6 hours."
+    let machines = ((2800.0 * scale).round() as usize).max(20);
+    let data_scale = 10.0 * scale; // 1 PB = 10× the GraySort volume
+    let jm = fuxi_job::JobMasterConfig::default();
+    let mut c = Cluster::new(ClusterConfig {
+        n_machines: machines,
+        rack_size: 50,
+        machine_spec: MachineSpec {
+            resources: ResourceVec::cores_mb(24, 96 * 1024),
+            ..MachineSpec::default()
+        },
+        seed,
+        jm,
+        ..ClusterConfig::default()
+    });
+    let p = SortParams::graysort(data_scale.min(1.0));
+    c.pangu.create(&p.input_file, p.total_gb * 1024.0, p.chunk_mb, 3, &c.topo);
+    let job = c.submit(&graysort_job(&p), &SubmitOpts::default());
+    println!(
+        "PetaSort at scale {scale}: {:.1} TB over {} nodes...",
+        p.total_gb / 1024.0,
+        machines
+    );
+    let (ok, at) = c
+        .run_until_job_done(job, SimTime::from_secs(400_000))
+        .expect("petasort completes");
+    assert!(ok);
+    println!(
+        "  sorted {:.1} TB in {:.0} s ({:.2} h) — paper: 1 PB in ~6 h on 2,800 nodes",
+        p.total_gb / 1024.0,
+        at,
+        at / 3600.0
+    );
+}
+
+fn main() {
+    let args = fuxi_bench::Args::parse(0.01, 0);
+    if std::env::args().any(|a| a == "--petasort") {
+        run_petasort(args.scale, args.seed);
+        return;
+    }
+    // Fuxi row: the paper's node count scaled; Yahoo row: 2,100 of 5,000
+    // nodes scaled by the same factor (their 2012 record cluster).
+    let fuxi_machines = ((5000.0 * args.scale).round() as usize).max(20);
+    let yahoo_machines = ((2100.0 * args.scale).round() as usize).max(10);
+    println!(
+        "GraySort at scale {}: {:.2} TB over {} nodes (Fuxi) / {:.2} TB over {} nodes (baseline)",
+        args.scale,
+        100.0 * args.scale,
+        fuxi_machines,
+        100.0 * args.scale * (yahoo_machines as f64 / fuxi_machines as f64),
+        yahoo_machines,
+    );
+    println!("running Fuxi sort...");
+    let fuxi = run_sort(args.scale, args.seed, true, fuxi_machines);
+    println!(
+        "  done in {:.0} s ({:.3} TB/min)",
+        fuxi.seconds,
+        fuxi.tb / (fuxi.seconds / 60.0)
+    );
+    println!("running YARN/Hadoop-style baseline (no container reuse)...");
+    // Baseline sorts proportionally less data on its smaller cluster so the
+    // per-node load matches (as in the real record attempts).
+    let base_scale = args.scale * yahoo_machines as f64 / fuxi_machines as f64;
+    let baseline = run_sort(base_scale, args.seed + 1, false, yahoo_machines);
+    println!(
+        "  done in {:.0} s ({:.3} TB/min)",
+        baseline.seconds,
+        baseline.tb / (baseline.seconds / 60.0)
+    );
+    let fuxi_tpm = fuxi.tb / (fuxi.seconds / 60.0);
+    let base_tpm = baseline.tb / (baseline.seconds / 60.0);
+    print_table(
+        "Table 4: GraySort result comparison",
+        &["provenance", "paper", "measured (scaled)"],
+        &[
+            fuxi_bench::row(
+                "Fuxi (5000 nodes)",
+                "100 TB in 2538 s = 2.364 TB/min",
+                &format!(
+                    "{:.2} TB in {:.0} s = {:.3} TB/min",
+                    fuxi.tb, fuxi.seconds, fuxi_tpm
+                ),
+            ),
+            fuxi_bench::row(
+                "Yahoo! Hadoop (2100 nodes)",
+                "102.5 TB in 4328 s = 1.42 TB/min",
+                &format!(
+                    "{:.2} TB in {:.0} s = {:.3} TB/min",
+                    baseline.tb, baseline.seconds, base_tpm
+                ),
+            ),
+            fuxi_bench::row(
+                "improvement",
+                "66.5%",
+                &format!("{:.1}%", 100.0 * (fuxi_tpm / base_tpm - 1.0)),
+            ),
+        ],
+    );
+    // Decompose the headline number: total improvement = cluster-size
+    // ratio × per-node scheduler-efficiency gain. The paper's 66.5% mixes
+    // both (Yahoo's tuned Hadoop was per-node *faster* on its disk-heavy
+    // nodes); our reproduction holds hardware equal, so the decomposition
+    // is the honest comparison.
+    let node_ratio = fuxi_machines as f64 / yahoo_machines as f64;
+    let per_node_gain = fuxi_tpm / base_tpm / node_ratio;
+    println!(
+        "\ndecomposition: total {:.2}× = cluster-size {:.2}× × per-node scheduler gain {:.2}×",
+        fuxi_tpm / base_tpm,
+        node_ratio,
+        per_node_gain
+    );
+    println!(
+        "\nShape claims under test: (1) Fuxi completes the sort end-to-end at\n\
+         cluster scale and wins the headline TB/min (paper: +66.5%); (2) on\n\
+         identical hardware, container reuse + event-driven scheduling beat\n\
+         per-task containers per node (ours: {:.0}% per-node gain). Absolute\n\
+         TB/min differs from the record runs — the flow model idealizes\n\
+         disks and switches.",
+        (per_node_gain - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,155 @@
+//! # fuxi-bench
+//!
+//! Experiment binaries regenerating every table and figure of the paper's
+//! evaluation (Section 5), plus criterion micro-benchmarks of the
+//! scheduler hot paths. See DESIGN.md's experiment index for the mapping.
+//!
+//! All binaries accept `--scale <f>` (cluster/data scale relative to the
+//! paper's 5,000-node testbed; defaults keep runs laptop-sized),
+//! `--duration <s>` where applicable, and `--seed <n>`.
+
+use fuxi_cluster::{Cluster, ClusterConfig};
+use fuxi_proto::topology::MachineSpec;
+use fuxi_proto::ResourceVec;
+use fuxi_sim::SimDuration;
+use fuxi_workloads::synthetic::SyntheticMix;
+
+/// Common CLI arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    pub scale: f64,
+    pub duration_s: u64,
+    pub seed: u64,
+}
+
+impl Args {
+    /// Parses `--scale`, `--duration`, `--seed` with the given defaults.
+    pub fn parse(default_scale: f64, default_duration_s: u64) -> Args {
+        let mut args = Args {
+            scale: default_scale,
+            duration_s: default_duration_s,
+            seed: 2014,
+        };
+        let argv: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < argv.len() {
+            match argv[i].as_str() {
+                "--scale" => {
+                    args.scale = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(args.scale);
+                    i += 2;
+                }
+                "--duration" => {
+                    args.duration_s = argv
+                        .get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(args.duration_s);
+                    i += 2;
+                }
+                "--seed" => {
+                    args.seed = argv.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(args.seed);
+                    i += 2;
+                }
+                "--full" => {
+                    args.scale = 1.0;
+                    i += 1;
+                }
+                // Mode flags consumed by individual binaries.
+                "--petasort" => {
+                    i += 1;
+                }
+                other => {
+                    eprintln!("ignoring unknown argument {other}");
+                    i += 1;
+                }
+            }
+        }
+        args
+    }
+}
+
+/// Warns when timing-sensitive experiments run without optimizations.
+pub fn warn_if_debug() {
+    #[cfg(debug_assertions)]
+    eprintln!(
+        "WARNING: debug build — wall-clock scheduling times (Figure 9) are \
+         only meaningful with --release"
+    );
+}
+
+/// The paper's testbed node for the synthetic experiment: 2×2.20 GHz 6-core
+/// Xeon E5-2430 with hyper-threading (24 hardware threads — Figure 10(b)'s
+/// CPU axis tops out near 120k cores over 5,000 nodes) and 96 GB memory.
+pub fn synthetic_machine_spec() -> MachineSpec {
+    MachineSpec {
+        resources: ResourceVec::cores_mb(24, 96 * 1024),
+        ..MachineSpec::default()
+    }
+}
+
+/// Outcome of the §5.2 synthetic-workload experiment.
+pub struct SyntheticOutcome {
+    pub cluster: Cluster,
+    pub stats: fuxi_cluster::SyntheticRunStats,
+    pub machines: usize,
+    pub concurrent: usize,
+    pub duration_s: u64,
+}
+
+/// Runs the §5.2 experiment: `5000×scale` machines, `1000×scale`
+/// concurrent jobs from the paper's WordCount/Terasort mix, for
+/// `duration_s` of simulated time. Instance counts are unscaled so the
+/// demand-to-capacity ratio matches the paper.
+pub fn run_synthetic_experiment(args: &Args) -> SyntheticOutcome {
+    let machines = ((5000.0 * args.scale).round() as usize).max(20);
+    let concurrent = ((1000.0 * args.scale).round() as usize).max(4);
+    let mut cluster = Cluster::new(ClusterConfig {
+        n_machines: machines,
+        rack_size: 50,
+        machine_spec: synthetic_machine_spec(),
+        seed: args.seed,
+        ..ClusterConfig::default()
+    });
+    // Large jobs saturate the scaled cluster exactly as in the paper; cap
+    // the per-job worker count so thousands of jobs share the cluster.
+    let mut mix = SyntheticMix::new(args.seed, 1.0);
+    let stats = fuxi_cluster::scenario::run_synthetic(
+        &mut cluster,
+        &mut mix,
+        concurrent,
+        SimDuration::from_secs(args.duration_s),
+    );
+    SyntheticOutcome {
+        cluster,
+        stats,
+        machines,
+        concurrent,
+        duration_s: args.duration_s,
+    }
+}
+
+/// Formats a paper-vs-measured row.
+pub fn row(label: &str, paper: &str, measured: &str) -> Vec<String> {
+    vec![label.to_owned(), paper.to_owned(), measured.to_owned()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_experiment_smoke() {
+        // A tiny run must produce scheduling-time samples and utilization
+        // series — the raw material of Fig 9 / Fig 10 / Table 2.
+        let args = Args {
+            scale: 0.005, // 25 machines, 5 concurrent jobs
+            duration_s: 120,
+            seed: 7,
+        };
+        let out = run_synthetic_experiment(&args);
+        let m = out.cluster.world.metrics();
+        assert!(m.histogram("fm.sched_s").map(|h| h.count()).unwrap_or(0) > 10);
+        assert!(!m.series("fm.planned_mem_mb").is_empty());
+        assert!(!m.series("am.obtained_mem_mb").is_empty());
+        assert!(out.stats.jobs_submitted >= 5);
+    }
+}

@@ -1,0 +1,919 @@
+//! The FuxiMaster actor: protocol handling, prioritized request processing,
+//! hot-standby election and user-transparent failover.
+//!
+//! Responsibilities (paper Sections 2.2, 3.4, 4.3.1):
+//!
+//! * **Match-making** between agents' free resources and application
+//!   masters' incremental requests, through [`crate::scheduler::Engine`].
+//! * **Prioritized request handling** — "urgent requests like resource
+//!   reversion and re-assignment will be triggered by events ... some
+//!   similar requests (e.g., frequently changing resource requests from one
+//!   application) are merged compactly and handled in a batch mode ...
+//!   other heavy but not emergent requests such as quota automatic
+//!   adjusting or bad node detection will be captured at a fixed time
+//!   interval in a roll-up manner." Concretely: `ReturnGrant` is applied
+//!   immediately; `RequestUpdate` deltas are merged per app and flushed on
+//!   a short batch timer; blacklist sweeps and launch retries run on the
+//!   roll-up timer.
+//! * **Hot-standby election** via the Apsara lock service; a standby master
+//!   holds no state until `LockGranted` promotes it.
+//! * **Failover rebuild** — hard state from the checkpoint, soft state
+//!   re-collected from agents (`AgentAllocationReport`) and application
+//!   masters (`FullRequestSync`) during a bounded rebuild window (Figure 7),
+//!   after which scheduling resumes with all prior grants intact.
+
+use crate::blacklist::{BlacklistConfig, ClusterBlacklist, ExclusionReason, Transition};
+use crate::quota::{QuotaGroup, QuotaManager};
+use crate::scheduler::{Engine, EngineConfig, EngineEvent, MASTER_UNIT};
+use crate::state::{AppDescRecord, HardState, JobRecord};
+use fuxi_apsara::naming::FUXI_MASTER;
+use fuxi_apsara::{NameRegistry, StoreHandle};
+use fuxi_proto::msg::{AppDescription, SeqCheck, SeqReceiver, SeqSender};
+use fuxi_proto::request::{GrantDelta, RequestDelta};
+use fuxi_proto::topology::Topology;
+use fuxi_proto::{AppId, JobId, MachineId, Msg, QuotaGroupId, UnitId};
+use fuxi_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// FuxiMaster tuning.
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// Lock lease; bounds how long a dead primary stalls the cluster.
+    pub lease_ttl: SimDuration,
+    /// Keepalive cadence (should be well under `lease_ttl`).
+    pub keepalive_interval: SimDuration,
+    /// Request-delta batch flush interval (Section 3.4 batch mode).
+    pub batch_interval: SimDuration,
+    /// Roll-up interval for heavy housekeeping (bad-node detection, launch
+    /// retries, metric samples).
+    pub rollup_interval: SimDuration,
+    /// How long a new primary collects soft state before scheduling resumes.
+    pub rebuild_window: SimDuration,
+    /// Scheduling-engine tuning.
+    pub engine: EngineConfig,
+    /// Blacklist configuration.
+    pub blacklist: BlacklistConfig,
+    /// Quota groups to install (group 0 always exists, unlimited).
+    pub quota_groups: Vec<(QuotaGroupId, QuotaGroup)>,
+}
+
+impl Default for MasterConfig {
+    fn default() -> Self {
+        Self {
+            lease_ttl: SimDuration::from_secs(6),
+            keepalive_interval: SimDuration::from_secs(2),
+            batch_interval: SimDuration::from_millis(100),
+            rollup_interval: SimDuration::from_secs(5),
+            rebuild_window: SimDuration::from_secs(8),
+            engine: EngineConfig::default(),
+            blacklist: BlacklistConfig::default(),
+            quota_groups: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    Standby,
+    Rebuilding,
+    Primary,
+}
+
+const TIMER_KEEPALIVE: u64 = 1;
+const TIMER_BATCH: u64 = 2;
+const TIMER_ROLLUP: u64 = 3;
+const TIMER_REBUILD_DONE: u64 = 4;
+
+#[derive(Debug)]
+struct JobRuntime {
+    app: AppId,
+    client: ActorId,
+    desc: AppDescription,
+    jm_machine: Option<MachineId>,
+    jm_actor: Option<ActorId>,
+    submitted_at: SimTime,
+    /// Machines where JM launch failed (avoid on retry).
+    launch_avoid: BTreeSet<MachineId>,
+    /// Launch request outstanding (StartAppMaster sent, no reply yet).
+    launching: bool,
+}
+
+/// The FuxiMaster actor. Spawn two (a pair) for hot-standby operation.
+pub struct FuxiMaster {
+    cfg: MasterConfig,
+    topo: Topology,
+    naming: NameRegistry,
+    store: StoreHandle,
+    lock_svc: ActorId,
+    role: Role,
+    engine: Option<Engine>,
+    blacklist: Option<ClusterBlacklist>,
+    jobs: BTreeMap<JobId, JobRuntime>,
+    app_to_job: BTreeMap<AppId, JobId>,
+    next_app: u32,
+    agents: Vec<Option<ActorId>>,
+    am_addr: BTreeMap<AppId, ActorId>,
+    req_rx: BTreeMap<AppId, SeqReceiver>,
+    grant_tx: BTreeMap<AppId, SeqSender>,
+    pending_deltas: BTreeMap<AppId, BTreeMap<UnitId, RequestDelta>>,
+    /// Apps whose AM has re-synced during the current rebuild.
+    apps_seen: BTreeSet<AppId>,
+}
+
+impl FuxiMaster {
+    /// Creates a new instance with the given configuration.
+    pub fn new(
+        cfg: MasterConfig,
+        topo: Topology,
+        naming: NameRegistry,
+        store: StoreHandle,
+        lock_svc: ActorId,
+    ) -> Self {
+        let n = topo.n_machines();
+        Self {
+            cfg,
+            topo,
+            naming,
+            store,
+            lock_svc,
+            role: Role::Standby,
+            engine: None,
+            blacklist: None,
+            jobs: BTreeMap::new(),
+            app_to_job: BTreeMap::new(),
+            next_app: 0,
+            agents: vec![None; n],
+            am_addr: BTreeMap::new(),
+            req_rx: BTreeMap::new(),
+            grant_tx: BTreeMap::new(),
+            pending_deltas: BTreeMap::new(),
+            apps_seen: BTreeSet::new(),
+        }
+    }
+
+    fn is_active(&self) -> bool {
+        self.role == Role::Primary
+    }
+
+    // ------------------------------------------------------------------
+    // Election & failover
+    // ------------------------------------------------------------------
+
+    fn become_primary(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let mut quotas = QuotaManager::new();
+        for (id, g) in &self.cfg.quota_groups {
+            quotas.define(*id, g.clone());
+        }
+        let mut engine = Engine::new(self.topo.clone(), self.cfg.engine.clone(), quotas);
+        // Machines join the schedulable pool when their agent reports in
+        // ("it passively collects total free resources from each machine").
+        for m in self.topo.machines() {
+            engine.deactivate_machine(m);
+        }
+        let mut blacklist =
+            ClusterBlacklist::new(self.cfg.blacklist.clone(), self.topo.n_machines());
+
+        // Hard state from the checkpoint; everything else is soft.
+        let hard = HardState::load(&self.store);
+        self.next_app = hard.next_app;
+        blacklist.restore(ctx.now(), &hard.blacklist);
+        let had_jobs = !hard.jobs.is_empty();
+        for rec in &hard.jobs {
+            self.jobs.insert(
+                rec.job_id(),
+                JobRuntime {
+                    app: rec.app_id(),
+                    client: rec.client_actor(),
+                    desc: rec.desc.to_description(),
+                    jm_machine: None,
+                    jm_actor: None,
+                    submitted_at: ctx.now(),
+                    launch_avoid: BTreeSet::new(),
+                    launching: false,
+                },
+            );
+            self.app_to_job.insert(rec.app_id(), rec.job_id());
+        }
+        self.engine = Some(engine);
+        self.blacklist = Some(blacklist);
+        self.naming.register(FUXI_MASTER, ctx.id());
+        ctx.metrics().count("fm.became_primary", 1);
+        ctx.timer(self.cfg.batch_interval, TIMER_BATCH);
+        ctx.timer(self.cfg.rollup_interval, TIMER_ROLLUP);
+        if had_jobs {
+            // Failover: collect soft state before scheduling resumes.
+            self.role = Role::Rebuilding;
+            self.apps_seen.clear();
+            self.engine.as_mut().unwrap().pause();
+            ctx.timer(self.cfg.rebuild_window, TIMER_REBUILD_DONE);
+        } else {
+            self.role = Role::Primary;
+        }
+    }
+
+    fn finish_rebuild(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.role != Role::Rebuilding {
+            return;
+        }
+        self.role = Role::Primary;
+        let t = std::time::Instant::now();
+        self.engine.as_mut().unwrap().resume();
+        self.record_sched(ctx, t);
+        self.flush_engine(ctx);
+        // Jobs whose application master never re-appeared get a fresh one;
+        // it recovers from its snapshot ("the JobMaster ... will initially
+        // load the snapshot of instance status").
+        let missing: Vec<JobId> = self
+            .jobs
+            .iter()
+            .filter(|(_, j)| !self.apps_seen.contains(&j.app))
+            .map(|(&id, _)| id)
+            .collect();
+        for job in missing {
+            self.launch_jm(ctx, job);
+        }
+        // Now that the books are whole, give every re-attached AM the
+        // authoritative grant baseline (deferred from the rebuild window).
+        let ams: Vec<(AppId, fuxi_sim::ActorId)> =
+            self.am_addr.iter().map(|(&a, &x)| (a, x)).collect();
+        for (app, am) in ams {
+            let snapshot = self.grant_snapshot(app);
+            self.grant_tx.entry(app).or_insert_with(SeqSender::new).reset();
+            ctx.send(am, Msg::FullGrantSync { snapshot });
+        }
+        ctx.metrics().count("fm.rebuild_done", 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Job lifecycle
+    // ------------------------------------------------------------------
+
+    fn checkpoint(&mut self) {
+        let hard = HardState {
+            jobs: self
+                .jobs
+                .iter()
+                .map(|(&job, j)| JobRecord {
+                    job: job.0,
+                    app: j.app.0,
+                    client: j.client.0,
+                    desc: AppDescRecord::from(&j.desc),
+                })
+                .collect(),
+            blacklist: self
+                .blacklist
+                .as_ref()
+                .map(|b| b.snapshot())
+                .unwrap_or_default(),
+            next_app: self.next_app,
+        };
+        hard.save(&self.store);
+    }
+
+    fn submit_job(&mut self, ctx: &mut Ctx<'_, Msg>, job: JobId, desc: AppDescription, client: ActorId) {
+        if self.jobs.contains_key(&job) {
+            return; // duplicate submission
+        }
+        let app = AppId(self.next_app);
+        self.next_app += 1;
+        self.jobs.insert(
+            job,
+            JobRuntime {
+                app,
+                client,
+                desc,
+                jm_machine: None,
+                jm_actor: None,
+                submitted_at: ctx.now(),
+                launch_avoid: BTreeSet::new(),
+                launching: false,
+            },
+        );
+        self.app_to_job.insert(app, job);
+        // Hard-state checkpoint happens exactly here and at job stop.
+        self.checkpoint();
+        ctx.send(client, Msg::JobAccepted { job, app });
+        if self.is_active() {
+            self.launch_jm(ctx, job);
+        }
+        ctx.metrics().count("fm.jobs_submitted", 1);
+    }
+
+    fn launch_jm(&mut self, ctx: &mut Ctx<'_, Msg>, job: JobId) {
+        let Some(j) = self.jobs.get(&job) else {
+            return;
+        };
+        if j.launching || j.jm_actor.is_some() {
+            return;
+        }
+        let app = j.app;
+        let group = j.desc.quota_group;
+        let res = j.desc.master_resource.clone();
+        let avoid = j.launch_avoid.clone();
+        let engine = self.engine.as_mut().unwrap();
+        if !engine.has_app(app) {
+            engine.attach_app(app, group, Vec::new());
+        }
+        let t = std::time::Instant::now();
+        let placed = engine.place_master(app, res, &avoid);
+        self.record_sched(ctx, t);
+        // Preemption revokes (if any) must reach agents and AMs; the
+        // master-unit grant itself is bookkeeping-only and filtered by
+        // flush_engine.
+        self.flush_engine(ctx);
+        let Some(m) = placed else {
+            ctx.metrics().count("fm.jm_launch_no_capacity", 1);
+            return; // retried on the roll-up timer
+        };
+        let Some(agent) = self.agents[m.0 as usize] else {
+            // Agent address unknown (not yet hello'd): release and retry.
+            self.engine
+                .as_mut()
+                .unwrap()
+                .return_grant(app, MASTER_UNIT, m, 1);
+            let _ = self.engine.as_mut().unwrap().drain_events();
+            return;
+        };
+        let j = self.jobs.get_mut(&job).unwrap();
+        j.jm_machine = Some(m);
+        j.launching = true;
+        let desc = j.desc.clone();
+        ctx.send(agent, Msg::StartAppMaster { app, job, desc });
+    }
+
+    fn job_finished(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        job: JobId,
+        app: AppId,
+        success: bool,
+        message: String,
+    ) {
+        let Some(j) = self.jobs.remove(&job) else {
+            return;
+        };
+        self.app_to_job.remove(&app);
+        self.am_addr.remove(&app);
+        self.req_rx.remove(&app);
+        self.grant_tx.remove(&app);
+        self.pending_deltas.remove(&app);
+        let t = std::time::Instant::now();
+        self.engine.as_mut().unwrap().detach_app(app);
+        self.record_sched(ctx, t);
+        self.flush_engine(ctx);
+        self.checkpoint();
+        ctx.send(
+            j.client,
+            Msg::JobFinished {
+                job,
+                app,
+                success,
+                message,
+            },
+        );
+        ctx.metrics().count("fm.jobs_finished", 1);
+    }
+
+    // ------------------------------------------------------------------
+    // Engine event fan-out
+    // ------------------------------------------------------------------
+
+    fn record_sched(&mut self, ctx: &mut Ctx<'_, Msg>, t: std::time::Instant) {
+        let dt = t.elapsed().as_secs_f64();
+        let now = ctx.now().as_secs_f64();
+        let m = ctx.metrics();
+        m.record("fm.sched_s", dt);
+        m.push_series("fm.sched_ms", now, dt * 1e3);
+    }
+
+    /// Drains engine decisions into `GrantUpdate` (to AMs) and
+    /// `CapacityNotify` (to agents) messages.
+    fn flush_engine(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let events = self.engine.as_mut().unwrap().drain_events();
+        if events.is_empty() {
+            return;
+        }
+        let mut per_am: BTreeMap<AppId, Vec<GrantDelta>> = BTreeMap::new();
+        for ev in &events {
+            let (app, unit, machine, delta) = match *ev {
+                EngineEvent::Grant {
+                    app,
+                    unit,
+                    machine,
+                    count,
+                } => (app, unit, machine, count as i64),
+                EngineEvent::Revoke {
+                    app,
+                    unit,
+                    machine,
+                    count,
+                    ..
+                } => (app, unit, machine, -(count as i64)),
+            };
+            if unit != MASTER_UNIT {
+                per_am.entry(app).or_default().push(GrantDelta {
+                    unit,
+                    changes: vec![(machine, delta)],
+                });
+                // Agents enforce the per-app envelope.
+                if let Some(agent) = self.agents[machine.0 as usize] {
+                    let unit_resource = self
+                        .engine
+                        .as_ref()
+                        .unwrap()
+                        .unit_resource(app, unit)
+                        .unwrap_or(fuxi_proto::ResourceVec::ZERO);
+                    ctx.send(
+                        agent,
+                        Msg::CapacityNotify {
+                            app,
+                            unit,
+                            unit_resource,
+                            delta,
+                        },
+                    );
+                }
+            }
+        }
+        for (app, grants) in per_am {
+            if let Some(&am) = self.am_addr.get(&app) {
+                let seq = self.grant_tx.entry(app).or_insert_with(SeqSender::new).next();
+                ctx.send(am, Msg::GrantUpdate { seq, grants });
+                ctx.metrics().count("fm.grant_updates", 1);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Batched request handling
+    // ------------------------------------------------------------------
+
+    fn flush_batches(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if !self.is_active() {
+            self.pending_deltas.clear();
+            return;
+        }
+        let pending = std::mem::take(&mut self.pending_deltas);
+        for (app, per_unit) in pending {
+            let deltas: Vec<RequestDelta> = per_unit.into_values().collect();
+            let t = std::time::Instant::now();
+            self.engine.as_mut().unwrap().apply_deltas(app, &deltas);
+            self.record_sched(ctx, t);
+        }
+        self.flush_engine(ctx);
+    }
+
+    // ------------------------------------------------------------------
+    // Blacklist & node lifecycle
+    // ------------------------------------------------------------------
+
+    fn apply_transitions(&mut self, ctx: &mut Ctx<'_, Msg>, transitions: Vec<Transition>) {
+        for tr in transitions {
+            match tr {
+                Transition::Excluded(m, reason) => {
+                    ctx.metrics().count("fm.machines_excluded", 1);
+                    let t = std::time::Instant::now();
+                    self.engine.as_mut().unwrap().node_down(m);
+                    self.record_sched(ctx, t);
+                    if reason == ExclusionReason::HeartbeatTimeout {
+                        self.agents[m.0 as usize] = None;
+                    }
+                    // Restart any JobMaster that lived there.
+                    let victims: Vec<JobId> = self
+                        .jobs
+                        .iter()
+                        .filter(|(_, j)| j.jm_machine == Some(m))
+                        .map(|(&id, _)| id)
+                        .collect();
+                    for job in victims {
+                        {
+                            let j = self.jobs.get_mut(&job).unwrap();
+                            j.jm_machine = None;
+                            j.jm_actor = None;
+                            j.launching = false;
+                            j.launch_avoid.insert(m);
+                        }
+                        if self.is_active() {
+                            self.launch_jm(ctx, job);
+                        }
+                    }
+                }
+                Transition::Readmitted(m) => {
+                    ctx.metrics().count("fm.machines_readmitted", 1);
+                    let cap = self.topo.spec(m).resources.clone();
+                    let t = std::time::Instant::now();
+                    self.engine.as_mut().unwrap().node_up(m, cap);
+                    self.record_sched(ctx, t);
+                }
+            }
+        }
+        if self.is_active() {
+            self.flush_engine(ctx);
+        }
+    }
+
+    fn rollup(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now();
+        if let Some(bl) = self.blacklist.as_mut() {
+            let transitions = bl.sweep(now);
+            self.apply_transitions(ctx, transitions);
+        }
+        if self.is_active() {
+            // Retry JobMaster launches that found no capacity/agent.
+            let waiting: Vec<JobId> = self
+                .jobs
+                .iter()
+                .filter(|(_, j)| j.jm_actor.is_none() && !j.launching)
+                .map(|(&id, _)| id)
+                .collect();
+            for job in waiting {
+                self.launch_jm(ctx, job);
+            }
+            // Utilization gauges (Figure 10's FM_total / FM_planned).
+            let engine = self.engine.as_ref().unwrap();
+            let total = engine.total_capacity();
+            let planned = engine.planned().clone();
+            let t = now.as_secs_f64();
+            let m = ctx.metrics();
+            m.push_series("fm.total_mem_mb", t, total.memory_mb() as f64);
+            m.push_series("fm.planned_mem_mb", t, planned.memory_mb() as f64);
+            m.push_series("fm.total_cpu_milli", t, total.cpu_milli() as f64);
+            m.push_series("fm.planned_cpu_milli", t, planned.cpu_milli() as f64);
+            m.push_series(
+                "fm.waiting_entries",
+                t,
+                engine.waiting_entries() as f64,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-message handlers
+    // ------------------------------------------------------------------
+
+    fn on_agent_hello(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: ActorId,
+        machine: MachineId,
+        total: fuxi_proto::ResourceVec,
+    ) {
+        self.agents[machine.0 as usize] = Some(from);
+        let now = ctx.now();
+        if let Some(bl) = self.blacklist.as_mut() {
+            let tr = bl.on_heartbeat(now, machine, &fuxi_proto::NodeHealthReport::healthy());
+            if let Some(tr) = tr {
+                self.apply_transitions(ctx, vec![tr]);
+            }
+        }
+        let engine = self.engine.as_mut().unwrap();
+        if engine.capacity_of(machine).is_zero()
+            && !self
+                .blacklist
+                .as_ref()
+                .map(|b| b.is_excluded(machine))
+                .unwrap_or(false)
+        {
+            let t = std::time::Instant::now();
+            engine.node_up(machine, total);
+            self.record_sched(ctx, t);
+        }
+        // Tell a restarted agent what is on the books for its machine.
+        let allocations = self.engine.as_ref().unwrap().allocations_on(machine);
+        ctx.send(from, Msg::AgentCapacitySnapshot { allocations });
+        if self.is_active() {
+            self.flush_engine(ctx);
+        }
+    }
+
+    fn on_request_update(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: ActorId,
+        app: AppId,
+        seq: u64,
+        deltas: Vec<RequestDelta>,
+    ) {
+        ctx.metrics().count("fm.request_updates", 1);
+        let rx = self.req_rx.entry(app).or_default();
+        match rx.accept(seq) {
+            SeqCheck::Apply => {
+                let per_unit = self.pending_deltas.entry(app).or_default();
+                for d in deltas {
+                    match per_unit.get_mut(&d.unit) {
+                        Some(existing) => existing.merge(&d),
+                        None => {
+                            per_unit.insert(d.unit, d);
+                        }
+                    }
+                }
+            }
+            SeqCheck::Duplicate => {
+                ctx.metrics().count("fm.dup_deltas_dropped", 1);
+            }
+            SeqCheck::Gap => {
+                ctx.metrics().count("fm.request_gaps", 1);
+                ctx.send(from, Msg::RequestSyncNeeded { app });
+            }
+        }
+    }
+
+    fn on_full_request_sync(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        from: ActorId,
+        app: AppId,
+        units: Vec<fuxi_proto::request::ScheduleUnitDef>,
+        states: Vec<fuxi_proto::request::RequestState>,
+    ) {
+        self.am_addr.insert(app, from);
+        self.apps_seen.insert(app);
+        self.pending_deltas.remove(&app);
+        self.req_rx.entry(app).or_default().synced();
+        let group = self
+            .app_to_job
+            .get(&app)
+            .and_then(|j| self.jobs.get(j))
+            .map(|j| j.desc.quota_group)
+            .unwrap_or(QuotaGroupId(0));
+        let t = std::time::Instant::now();
+        self.engine
+            .as_mut()
+            .unwrap()
+            .full_request_sync(app, group, units, states);
+        self.record_sched(ctx, t);
+        // Answer with the authoritative grant snapshot and restart grant
+        // numbering from this baseline — but never from a half-rebuilt
+        // book: during rebuild the snapshot would be empty and the AM would
+        // wrongly tear down every worker. Deferred to finish_rebuild.
+        if self.role != Role::Rebuilding {
+            let snapshot = self.grant_snapshot(app);
+            self.grant_tx.entry(app).or_insert_with(SeqSender::new).reset();
+            ctx.send(from, Msg::FullGrantSync { snapshot });
+        }
+        if self.is_active() {
+            self.flush_engine(ctx);
+        }
+    }
+
+    fn grant_snapshot(&self, app: AppId) -> Vec<(UnitId, Vec<(MachineId, u64)>)> {
+        let mut per_unit: BTreeMap<UnitId, Vec<(MachineId, u64)>> = BTreeMap::new();
+        for (unit, m, _, count) in self.engine.as_ref().unwrap().app_grants(app) {
+            if unit != MASTER_UNIT {
+                per_unit.entry(unit).or_default().push((m, count));
+            }
+        }
+        per_unit.into_iter().collect()
+    }
+}
+
+impl Actor<Msg> for FuxiMaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.send(
+            self.lock_svc,
+            Msg::LockAcquire {
+                name: FUXI_MASTER.to_owned(),
+                ttl_s: self.cfg.lease_ttl.as_secs_f64(),
+            },
+        );
+        ctx.timer(self.cfg.keepalive_interval, TIMER_KEEPALIVE);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        match msg {
+            Msg::LockGranted { .. } => {
+                if self.role == Role::Standby {
+                    self.become_primary(ctx);
+                }
+            }
+            Msg::LockLost { .. } => {
+                // A primary that lost its lease must stop acting: another
+                // master owns the cluster now.
+                ctx.metrics().count("fm.lock_lost", 1);
+                self.naming.deregister(FUXI_MASTER, ctx.id());
+                ctx.kill_self();
+            }
+            _ if self.role == Role::Standby => {
+                // Standby holds no state; peers discover the primary via
+                // naming, so anything arriving here is stale. Drop it.
+                ctx.metrics().count("fm.standby_dropped", 1);
+            }
+            Msg::SubmitJob { job, desc, client } => self.submit_job(ctx, job, desc, client),
+            Msg::StopJob { job } => {
+                if let Some(j) = self.jobs.get(&job) {
+                    if let Some(jm) = j.jm_actor {
+                        ctx.send(jm, Msg::StopJob { job });
+                    }
+                }
+            }
+            Msg::JobFinished {
+                job,
+                app,
+                success,
+                message,
+            } => self.job_finished(ctx, job, app, success, message),
+            Msg::AgentHello { machine, total } => self.on_agent_hello(ctx, from, machine, total),
+            Msg::AgentHeartbeat { machine, health } => {
+                self.agents[machine.0 as usize] = Some(from);
+                let now = ctx.now();
+                if let Some(bl) = self.blacklist.as_mut() {
+                    if let Some(tr) = bl.on_heartbeat(now, machine, &health) {
+                        self.apply_transitions(ctx, vec![tr]);
+                    }
+                }
+            }
+            Msg::AgentAllocationReport {
+                machine,
+                total,
+                allocations,
+                app_masters,
+            } => {
+                self.agents[machine.0 as usize] = Some(from);
+                // Re-learn where application masters live (prevents the new
+                // primary from launching duplicates).
+                for (app, actor) in &app_masters {
+                    if let Some(&job) = self.app_to_job.get(app) {
+                        let j = self.jobs.get_mut(&job).unwrap();
+                        if j.jm_actor.is_none() {
+                            j.jm_actor = Some(*actor);
+                            j.jm_machine = Some(machine);
+                            j.launching = false;
+                        }
+                    }
+                    self.apps_seen.insert(*app);
+                }
+                if self.role == Role::Rebuilding {
+                    let engine = self.engine.as_mut().unwrap();
+                    for (app, unit, res, count) in allocations {
+                        engine.adopt_allocation(app, unit, res, machine, count);
+                        self.apps_seen.insert(app);
+                    }
+                    let t = std::time::Instant::now();
+                    self.engine.as_mut().unwrap().node_up(machine, total);
+                    self.record_sched(ctx, t);
+                    if let Some(bl) = self.blacklist.as_mut() {
+                        bl.on_heartbeat(
+                            ctx.now(),
+                            machine,
+                            &fuxi_proto::NodeHealthReport::healthy(),
+                        );
+                    }
+                } else {
+                    // Outside a rebuild the master's books are authoritative:
+                    // treat the report as a hello and correct the agent.
+                    self.on_agent_hello(ctx, from, machine, total);
+                }
+            }
+            Msg::AppMasterStarted { app, actor, machine } => {
+                if let Some(&job) = self.app_to_job.get(&app) {
+                    let submitted_at = self.jobs[&job].submitted_at;
+                    let j = self.jobs.get_mut(&job).unwrap();
+                    j.jm_actor = Some(actor);
+                    j.jm_machine = Some(machine);
+                    j.launching = false;
+                    let dt = ctx.now().since(submitted_at).as_secs_f64();
+                    ctx.metrics().record("fm.jm_start_overhead_s", dt);
+                }
+            }
+            Msg::AppMasterStartFailed { app, reason: _ } => {
+                if let Some(&job) = self.app_to_job.get(&app) {
+                    let m = self.jobs[&job].jm_machine;
+                    {
+                        let j = self.jobs.get_mut(&job).unwrap();
+                        j.launching = false;
+                        j.jm_machine = None;
+                        if let Some(m) = m {
+                            j.launch_avoid.insert(m);
+                        }
+                    }
+                    if let Some(m) = m {
+                        self.engine
+                            .as_mut()
+                            .unwrap()
+                            .return_grant(app, MASTER_UNIT, m, 1);
+                        self.flush_engine(ctx);
+                    }
+                    if self.is_active() {
+                        self.launch_jm(ctx, job);
+                    }
+                }
+            }
+            Msg::AppMasterExited { app, machine } => {
+                if let Some(&job) = self.app_to_job.get(&app) {
+                    {
+                        let j = self.jobs.get_mut(&job).unwrap();
+                        j.jm_actor = None;
+                        j.jm_machine = None;
+                        j.launching = false;
+                    }
+                    self.engine
+                        .as_mut()
+                        .unwrap()
+                        .return_grant(app, MASTER_UNIT, machine, 1);
+                    self.flush_engine(ctx);
+                    if self.is_active() {
+                        ctx.metrics().count("fm.jm_restarts", 1);
+                        self.launch_jm(ctx, job);
+                    }
+                }
+            }
+            Msg::AmAttach { app, units } => {
+                self.am_addr.insert(app, from);
+                self.apps_seen.insert(app);
+                let group = self
+                    .app_to_job
+                    .get(&app)
+                    .and_then(|j| self.jobs.get(j))
+                    .map(|j| j.desc.quota_group)
+                    .unwrap_or(QuotaGroupId(0));
+                self.engine.as_mut().unwrap().attach_app(app, group, units);
+            }
+            Msg::RequestUpdate { app, seq, deltas } => {
+                self.on_request_update(ctx, from, app, seq, deltas)
+            }
+            Msg::ReturnGrant {
+                app,
+                unit,
+                machine,
+                count,
+            } => {
+                // Urgent class: applied immediately so freed resources turn
+                // over without waiting for the batch timer.
+                ctx.metrics().count("fm.returns", 1);
+                let t = std::time::Instant::now();
+                self.engine.as_mut().unwrap().return_grant(app, unit, machine, count);
+                self.record_sched(ctx, t);
+                self.flush_engine(ctx);
+            }
+            Msg::FullRequestSync {
+                app,
+                units,
+                states,
+                held: _,
+            } => self.on_full_request_sync(ctx, from, app, units, states),
+            Msg::GrantSyncNeeded { app } => {
+                let snapshot = self.grant_snapshot(app);
+                self.grant_tx.entry(app).or_insert_with(SeqSender::new).reset();
+                ctx.send(from, Msg::FullGrantSync { snapshot });
+            }
+            Msg::AmDetach { app } => {
+                let t = std::time::Instant::now();
+                self.engine.as_mut().unwrap().detach_app(app);
+                self.record_sched(ctx, t);
+                self.flush_engine(ctx);
+                self.am_addr.remove(&app);
+                self.req_rx.remove(&app);
+                self.grant_tx.remove(&app);
+                self.pending_deltas.remove(&app);
+            }
+            Msg::BadMachineReport { app, machine } => {
+                let now = ctx.now();
+                if let Some(bl) = self.blacklist.as_mut() {
+                    if let Some(tr) = bl.report_mark(now, app, machine) {
+                        self.apply_transitions(ctx, vec![tr]);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        match tag {
+            TIMER_KEEPALIVE => {
+                ctx.send(
+                    self.lock_svc,
+                    Msg::LockKeepalive {
+                        name: FUXI_MASTER.to_owned(),
+                    },
+                );
+                // A standby keeps trying to acquire (covers the lost-grant
+                // race where the lock service granted to a dead standby).
+                if self.role == Role::Standby {
+                    ctx.send(
+                        self.lock_svc,
+                        Msg::LockAcquire {
+                            name: FUXI_MASTER.to_owned(),
+                            ttl_s: self.cfg.lease_ttl.as_secs_f64(),
+                        },
+                    );
+                }
+                ctx.timer(self.cfg.keepalive_interval, TIMER_KEEPALIVE);
+            }
+            TIMER_BATCH => {
+                if self.role != Role::Standby {
+                    self.flush_batches(ctx);
+                    ctx.timer(self.cfg.batch_interval, TIMER_BATCH);
+                }
+            }
+            TIMER_ROLLUP => {
+                if self.role != Role::Standby {
+                    self.rollup(ctx);
+                    ctx.timer(self.cfg.rollup_interval, TIMER_ROLLUP);
+                }
+            }
+            TIMER_REBUILD_DONE => self.finish_rebuild(ctx),
+            _ => {}
+        }
+    }
+}

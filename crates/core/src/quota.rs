@@ -1,0 +1,179 @@
+//! Quota groups: multi-tenancy accounting (paper Section 3.4).
+//!
+//! "One cluster can have multiple quota groups while each application must
+//! belong to one and only one group. When applications from one quota group
+//! are idle and cannot take up all resources, applications from other quota
+//! groups can exploit it instead. When all quota groups are busy, a minimal
+//! quota for each group will be ensured."
+//!
+//! Scheduling is therefore *work-conserving*: grants are never blocked by a
+//! group being over its minimum — the minimum is enforced by preemption
+//! when a deficit group cannot be satisfied from free resources. An
+//! optional hard `max` cap is also supported.
+
+use fuxi_proto::{QuotaGroupId, ResourceVec};
+use std::collections::BTreeMap;
+
+/// Configuration of one quota group.
+#[derive(Debug, Clone, Default)]
+pub struct QuotaGroup {
+    /// Guaranteed minimum: when this group is busy and below it, other
+    /// groups' excess usage may be preempted in its favour.
+    pub min: ResourceVec,
+    /// Optional hard ceiling on the group's total scheduled resources.
+    pub max: Option<ResourceVec>,
+}
+
+/// Tracks per-group configured quotas and live usage.
+#[derive(Debug, Default)]
+pub struct QuotaManager {
+    groups: BTreeMap<QuotaGroupId, QuotaGroup>,
+    usage: BTreeMap<QuotaGroupId, ResourceVec>,
+}
+
+impl QuotaManager {
+    /// Creates a new instance with the given configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Defines (or redefines) a group.
+    pub fn define(&mut self, id: QuotaGroupId, group: QuotaGroup) {
+        self.groups.insert(id, group);
+    }
+
+    /// Group.
+    pub fn group(&self, id: QuotaGroupId) -> Option<&QuotaGroup> {
+        self.groups.get(&id)
+    }
+
+    /// Usage.
+    pub fn usage(&self, id: QuotaGroupId) -> ResourceVec {
+        self.usage.get(&id).cloned().unwrap_or(ResourceVec::ZERO)
+    }
+
+    /// Records `amount × count` granted to `id`.
+    pub fn add_usage(&mut self, id: QuotaGroupId, amount: &ResourceVec, count: u64) {
+        self.usage
+            .entry(id)
+            .or_default()
+            .add_scaled(amount, count);
+    }
+
+    /// Records `amount × count` released by `id`.
+    pub fn sub_usage(&mut self, id: QuotaGroupId, amount: &ResourceVec, count: u64) {
+        if let Some(u) = self.usage.get_mut(&id) {
+            u.sub_scaled(amount, count);
+        }
+    }
+
+    /// `true` if granting `amount × count` more would stay under the
+    /// group's `max` cap (always true for uncapped groups).
+    pub fn within_max(&self, id: QuotaGroupId, amount: &ResourceVec, count: u64) -> bool {
+        match self.groups.get(&id).and_then(|g| g.max.as_ref()) {
+            None => true,
+            Some(max) => {
+                let mut would = self.usage(id);
+                would.add_scaled(amount, count);
+                would.fits_in(max)
+            }
+        }
+    }
+
+    /// `true` if the group's usage plus one more `amount` still fits within
+    /// its guaranteed minimum — i.e. it is in *deficit* and entitled to
+    /// preempt excess usage elsewhere.
+    pub fn in_deficit_for(&self, id: QuotaGroupId, amount: &ResourceVec) -> bool {
+        let Some(g) = self.groups.get(&id) else {
+            return false;
+        };
+        let mut would = self.usage(id);
+        would.add(amount);
+        would.fits_in(&g.min)
+    }
+
+    /// `true` if the group uses more than its guaranteed minimum on some
+    /// dimension — i.e. it holds *excess* that deficit groups may reclaim.
+    pub fn over_min(&self, id: QuotaGroupId) -> bool {
+        match self.groups.get(&id) {
+            // Undefined groups have a zero minimum: any usage is excess.
+            None => !self.usage(id).is_zero(),
+            Some(g) => !self.usage(id).fits_in(&g.min),
+        }
+    }
+
+    /// Groups.
+    pub fn groups(&self) -> impl Iterator<Item = (QuotaGroupId, &QuotaGroup)> {
+        self.groups.iter().map(|(&id, g)| (id, g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mgr() -> QuotaManager {
+        let mut m = QuotaManager::new();
+        m.define(
+            QuotaGroupId(1),
+            QuotaGroup {
+                min: ResourceVec::cores_mb(10, 10_000),
+                max: None,
+            },
+        );
+        m.define(
+            QuotaGroupId(2),
+            QuotaGroup {
+                min: ResourceVec::cores_mb(5, 5_000),
+                max: Some(ResourceVec::cores_mb(8, 8_000)),
+            },
+        );
+        m
+    }
+
+    #[test]
+    fn usage_accounting() {
+        let mut m = mgr();
+        let unit = ResourceVec::cores_mb(1, 1_000);
+        m.add_usage(QuotaGroupId(1), &unit, 3);
+        assert_eq!(m.usage(QuotaGroupId(1)), unit.scaled(3));
+        m.sub_usage(QuotaGroupId(1), &unit, 2);
+        assert_eq!(m.usage(QuotaGroupId(1)), unit.scaled(1));
+        m.sub_usage(QuotaGroupId(1), &unit, 100);
+        assert!(m.usage(QuotaGroupId(1)).is_zero(), "saturates at zero");
+    }
+
+    #[test]
+    fn max_cap_blocks_only_capped_groups() {
+        let mut m = mgr();
+        let unit = ResourceVec::cores_mb(1, 1_000);
+        assert!(m.within_max(QuotaGroupId(1), &unit, 1_000));
+        assert!(m.within_max(QuotaGroupId(2), &unit, 8));
+        assert!(!m.within_max(QuotaGroupId(2), &unit, 9));
+        m.add_usage(QuotaGroupId(2), &unit, 8);
+        assert!(!m.within_max(QuotaGroupId(2), &unit, 1));
+    }
+
+    #[test]
+    fn deficit_and_excess() {
+        let mut m = mgr();
+        let unit = ResourceVec::cores_mb(1, 1_000);
+        // Group 1 empty: granting one more keeps it within min -> deficit.
+        assert!(m.in_deficit_for(QuotaGroupId(1), &unit));
+        assert!(!m.over_min(QuotaGroupId(1)));
+        // Fill group 1 beyond min.
+        m.add_usage(QuotaGroupId(1), &unit, 11);
+        assert!(!m.in_deficit_for(QuotaGroupId(1), &unit));
+        assert!(m.over_min(QuotaGroupId(1)));
+    }
+
+    #[test]
+    fn undefined_group_has_zero_min() {
+        let mut m = mgr();
+        let unit = ResourceVec::cores_mb(1, 1_000);
+        assert!(!m.in_deficit_for(QuotaGroupId(9), &unit));
+        assert!(!m.over_min(QuotaGroupId(9)));
+        m.add_usage(QuotaGroupId(9), &unit, 1);
+        assert!(m.over_min(QuotaGroupId(9)));
+    }
+}

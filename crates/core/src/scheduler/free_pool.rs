@@ -1,0 +1,237 @@
+//! The available-resource pool: per-machine free vectors plus the rotating
+//! cursor used for load-balanced cluster-level scans ("load balance will
+//! also be considered", Section 3.3).
+
+use fuxi_proto::{MachineId, ResourceVec};
+use std::collections::BTreeSet;
+
+/// Per-machine free resources. Machines with zero schedulable capacity
+/// (down, blacklisted) simply have empty capacity here.
+#[derive(Debug, Default)]
+pub struct FreePool {
+    capacity: Vec<ResourceVec>,
+    free: Vec<ResourceVec>,
+    /// Machines with any free resource at all, for cluster-level scans.
+    nonempty: BTreeSet<MachineId>,
+    /// Rotating scan start so repeated cluster-level grants spread load.
+    cursor: u32,
+}
+
+impl FreePool {
+    /// Creates a new instance with the given configuration.
+    pub fn new(capacities: Vec<ResourceVec>) -> Self {
+        let mut pool = Self {
+            free: capacities.clone(),
+            capacity: capacities,
+            nonempty: BTreeSet::new(),
+            cursor: 0,
+        };
+        for (i, f) in pool.free.iter().enumerate() {
+            if !f.is_zero() {
+                pool.nonempty.insert(MachineId(i as u32));
+            }
+        }
+        pool
+    }
+
+    /// N machines.
+    pub fn n_machines(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Free.
+    pub fn free(&self, m: MachineId) -> &ResourceVec {
+        &self.free[m.0 as usize]
+    }
+
+    /// Capacity.
+    pub fn capacity(&self, m: MachineId) -> &ResourceVec {
+        &self.capacity[m.0 as usize]
+    }
+
+    /// How many copies of `unit` fit on `m` right now.
+    pub fn fits(&self, m: MachineId, unit: &ResourceVec) -> u64 {
+        let n = unit.times_fitting_in(self.free(m));
+        if n == u64::MAX {
+            0 // zero-sized units are never granted
+        } else {
+            n
+        }
+    }
+
+    /// Takes `unit × count` from `m`. Panics in debug builds on underflow —
+    /// callers must have checked `fits`.
+    pub fn take(&mut self, m: MachineId, unit: &ResourceVec, count: u64) {
+        debug_assert!(self.fits(m, unit) >= count, "free-pool underflow on {m}");
+        let f = &mut self.free[m.0 as usize];
+        f.sub_scaled(unit, count);
+        if f.is_zero() {
+            self.nonempty.remove(&m);
+        }
+    }
+
+    /// Returns `unit × count` to `m` (clamped to capacity).
+    pub fn give(&mut self, m: MachineId, unit: &ResourceVec, count: u64) {
+        let f = &mut self.free[m.0 as usize];
+        f.add_scaled(unit, count);
+        let cap = &self.capacity[m.0 as usize];
+        if !f.fits_in(cap) {
+            // Capacity may have shrunk (node flap); clamp dimension-wise.
+            let mut clamped = cap.clone();
+            if f.cpu_milli() < clamped.cpu_milli() {
+                clamped.set_cpu_milli(f.cpu_milli());
+            }
+            if f.memory_mb() < clamped.memory_mb() {
+                clamped.set_memory_mb(f.memory_mb());
+            }
+            for (id, amt) in cap.virtuals() {
+                clamped.set_virtual(id, amt.min(f.virtual_amount(id)));
+            }
+            *f = clamped;
+        }
+        if !f.is_zero() {
+            self.nonempty.insert(m);
+        }
+    }
+
+    /// Changes a machine's schedulable capacity (join, leave, blacklist,
+    /// virtual-resource reconfiguration). `in_use` is what is currently
+    /// granted there; free becomes `max(0, new_capacity - in_use)`.
+    pub fn set_capacity(&mut self, m: MachineId, new_capacity: ResourceVec, in_use: &ResourceVec) {
+        let mut free = new_capacity.clone();
+        free.saturating_sub(in_use);
+        self.capacity[m.0 as usize] = new_capacity;
+        self.free[m.0 as usize] = free;
+        if self.free[m.0 as usize].is_zero() {
+            self.nonempty.remove(&m);
+        } else {
+            self.nonempty.insert(m);
+        }
+    }
+
+    /// Iterates machines with free resources, starting after the rotating
+    /// cursor and wrapping, visiting each at most once.
+    pub fn scan_from_cursor(&self) -> impl Iterator<Item = MachineId> + '_ {
+        let start = MachineId(self.cursor);
+        self.nonempty
+            .range(start..)
+            .chain(self.nonempty.range(..start))
+            .copied()
+    }
+
+    /// Advances the cursor past `m` so the next scan starts elsewhere.
+    pub fn advance_cursor(&mut self, m: MachineId) {
+        self.cursor = m.0.wrapping_add(1);
+    }
+
+    /// Nonempty count.
+    pub fn nonempty_count(&self) -> usize {
+        self.nonempty.len()
+    }
+
+    /// Total free resources over all machines (O(n): reporting only).
+    pub fn total_free(&self) -> ResourceVec {
+        let mut t = ResourceVec::ZERO;
+        for f in &self.free {
+            t.add(f);
+        }
+        t
+    }
+
+    /// Total schedulable capacity (O(n): reporting only).
+    pub fn total_capacity(&self) -> ResourceVec {
+        let mut t = ResourceVec::ZERO;
+        for c in &self.capacity {
+            t.add(c);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool3() -> FreePool {
+        FreePool::new(vec![ResourceVec::cores_mb(12, 96 * 1024); 3])
+    }
+
+    #[test]
+    fn take_and_give_roundtrip() {
+        let mut p = pool3();
+        let unit = ResourceVec::new(500, 2048);
+        assert_eq!(p.fits(MachineId(0), &unit), 24);
+        p.take(MachineId(0), &unit, 24);
+        assert_eq!(p.fits(MachineId(0), &unit), 0);
+        assert!(p.free(MachineId(0)).memory_mb() > 0, "cpu exhausted first");
+        p.give(MachineId(0), &unit, 24);
+        assert_eq!(p.fits(MachineId(0), &unit), 24);
+    }
+
+    #[test]
+    fn nonempty_tracks_fully_drained_machines() {
+        let mut p = FreePool::new(vec![ResourceVec::new(1000, 1000); 2]);
+        let unit = ResourceVec::new(1000, 1000);
+        assert_eq!(p.nonempty_count(), 2);
+        p.take(MachineId(1), &unit, 1);
+        assert_eq!(p.nonempty_count(), 1);
+        assert_eq!(p.scan_from_cursor().collect::<Vec<_>>(), vec![MachineId(0)]);
+        p.give(MachineId(1), &unit, 1);
+        assert_eq!(p.nonempty_count(), 2);
+    }
+
+    #[test]
+    fn cursor_rotates_scan_order() {
+        let mut p = pool3();
+        let first: Vec<MachineId> = p.scan_from_cursor().collect();
+        assert_eq!(first, vec![MachineId(0), MachineId(1), MachineId(2)]);
+        p.advance_cursor(MachineId(0));
+        let second: Vec<MachineId> = p.scan_from_cursor().collect();
+        assert_eq!(second, vec![MachineId(1), MachineId(2), MachineId(0)]);
+        p.advance_cursor(MachineId(2));
+        let third: Vec<MachineId> = p.scan_from_cursor().collect();
+        assert_eq!(third, vec![MachineId(0), MachineId(1), MachineId(2)]);
+    }
+
+    #[test]
+    fn set_capacity_to_zero_removes_machine() {
+        let mut p = pool3();
+        let unit = ResourceVec::new(500, 2048);
+        p.take(MachineId(1), &unit, 4);
+        let in_use = unit.scaled(4);
+        p.set_capacity(MachineId(1), ResourceVec::ZERO, &in_use);
+        assert_eq!(p.fits(MachineId(1), &unit), 0);
+        assert_eq!(p.nonempty_count(), 2);
+        // Bring it back with nothing in use.
+        p.set_capacity(MachineId(1), ResourceVec::cores_mb(12, 96 * 1024), &ResourceVec::ZERO);
+        assert_eq!(p.fits(MachineId(1), &unit), 24);
+    }
+
+    #[test]
+    fn set_capacity_respects_in_use() {
+        let mut p = pool3();
+        let unit = ResourceVec::new(500, 2048);
+        p.take(MachineId(0), &unit, 10);
+        // Capacity shrinks below what is in use: free must be zero, not wrap.
+        p.set_capacity(MachineId(0), unit.scaled(5), &unit.scaled(10));
+        assert!(p.free(MachineId(0)).is_zero());
+    }
+
+    #[test]
+    fn totals() {
+        let mut p = pool3();
+        let unit = ResourceVec::new(500, 2048);
+        p.take(MachineId(2), &unit, 2);
+        let free = p.total_free();
+        let cap = p.total_capacity();
+        assert_eq!(cap.cpu_milli(), 3 * 12_000);
+        assert_eq!(free.cpu_milli(), 3 * 12_000 - 1000);
+        assert_eq!(free.memory_mb(), cap.memory_mb() - 4096);
+    }
+
+    #[test]
+    fn zero_sized_unit_never_fits() {
+        let p = pool3();
+        assert_eq!(p.fits(MachineId(0), &ResourceVec::ZERO), 0);
+    }
+}

@@ -1,0 +1,348 @@
+//! The locality tree: waiting queues at machine, rack and cluster level
+//! (paper Section 3.3, Figure 5).
+//!
+//! "Different machine, rack and cluster have their individual waiting queue
+//! and applications that request resource on the same machine, rack or
+//! cluster will be put into the same queue. ... all applications waiting on
+//! the same tree are sorted by priority and submission time."
+//!
+//! Queue entries are `(priority, submit_seq, app, unit)` keys ordered so the
+//! most urgent, longest-waiting unit pops first. Each queue tracks a
+//! monotone lower bound of the smallest queued unit footprint so the
+//! scheduler can stop scanning a queue the moment remaining free resources
+//! cannot possibly satisfy anyone in it.
+
+use fuxi_proto::{AppId, MachineId, Priority, RackId, ResourceVec, UnitId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Ordering key of a waiting (app, unit): priority first, then submission
+/// order (FIFO within a priority), then ids for determinism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct QueueKey {
+    /// Scheduling priority.
+    pub priority: Priority,
+    /// Submission order (FIFO within a priority).
+    pub seq: u64,
+    /// Application id.
+    pub app: AppId,
+    /// ScheduleUnit id.
+    pub unit: UnitId,
+}
+
+/// One waiting queue (for a machine, a rack, or the cluster).
+#[derive(Debug, Default)]
+pub struct WaitQueue {
+    entries: BTreeSet<QueueKey>,
+    /// Monotone lower bounds of the smallest queued footprint; only lowered
+    /// on insert, reset when the queue empties. Safe (never excludes a
+    /// satisfiable entry), merely conservative.
+    min_cpu: u64,
+    min_mem: u64,
+}
+
+impl WaitQueue {
+    fn new() -> Self {
+        Self {
+            entries: BTreeSet::new(),
+            min_cpu: u64::MAX,
+            min_mem: u64::MAX,
+        }
+    }
+
+    fn insert(&mut self, key: QueueKey, footprint: &ResourceVec) {
+        self.entries.insert(key);
+        self.min_cpu = self.min_cpu.min(footprint.cpu_milli());
+        self.min_mem = self.min_mem.min(footprint.memory_mb());
+    }
+
+    fn remove(&mut self, key: &QueueKey) {
+        self.entries.remove(key);
+        if self.entries.is_empty() {
+            self.min_cpu = u64::MAX;
+            self.min_mem = u64::MAX;
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `true` when nothing in this queue could possibly fit in `free`.
+    pub fn hopeless_for(&self, free: &ResourceVec) -> bool {
+        self.entries.is_empty()
+            || self.min_cpu > free.cpu_milli()
+            || self.min_mem > free.memory_mb()
+    }
+
+    /// Iter.
+    pub fn iter(&self) -> impl Iterator<Item = &QueueKey> {
+        self.entries.iter()
+    }
+
+    /// First.
+    pub fn first(&self) -> Option<&QueueKey> {
+        self.entries.first()
+    }
+}
+
+/// Which queue level an entry sits at. Order matters: at equal priority the
+/// paper gives machine-queue waiters precedence over rack/cluster waiters
+/// ("applications waiting on the machine queue will take precedence over
+/// those waiting on the rack/cluster queue that the machine belongs to").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Machine.
+    Machine = 0,
+    /// Rack.
+    Rack = 1,
+    /// Cluster.
+    Cluster = 2,
+}
+
+/// The full locality tree.
+#[derive(Debug, Default)]
+pub struct LocalityTree {
+    machine: BTreeMap<MachineId, WaitQueue>,
+    rack: BTreeMap<RackId, WaitQueue>,
+    cluster: WaitQueue,
+    total_entries: usize,
+}
+
+impl LocalityTree {
+    /// Creates a new instance with the given configuration.
+    pub fn new() -> Self {
+        Self {
+            cluster: WaitQueue::new(),
+            ..Self::default()
+        }
+    }
+
+    /// Enqueue machine.
+    pub fn enqueue_machine(&mut self, m: MachineId, key: QueueKey, footprint: &ResourceVec) {
+        let q = self.machine.entry(m).or_insert_with(WaitQueue::new);
+        let before = q.len();
+        q.insert(key, footprint);
+        self.total_entries += q.len() - before;
+    }
+
+    /// Enqueue rack.
+    pub fn enqueue_rack(&mut self, r: RackId, key: QueueKey, footprint: &ResourceVec) {
+        let q = self.rack.entry(r).or_insert_with(WaitQueue::new);
+        let before = q.len();
+        q.insert(key, footprint);
+        self.total_entries += q.len() - before;
+    }
+
+    /// Enqueue cluster.
+    pub fn enqueue_cluster(&mut self, key: QueueKey, footprint: &ResourceVec) {
+        let before = self.cluster.len();
+        self.cluster.insert(key, footprint);
+        self.total_entries += self.cluster.len() - before;
+    }
+
+    /// Dequeue machine.
+    pub fn dequeue_machine(&mut self, m: MachineId, key: &QueueKey) {
+        if let Some(q) = self.machine.get_mut(&m) {
+            let before = q.len();
+            q.remove(key);
+            self.total_entries -= before - q.len();
+            if q.is_empty() {
+                self.machine.remove(&m);
+            }
+        }
+    }
+
+    /// Dequeue rack.
+    pub fn dequeue_rack(&mut self, r: RackId, key: &QueueKey) {
+        if let Some(q) = self.rack.get_mut(&r) {
+            let before = q.len();
+            q.remove(key);
+            self.total_entries -= before - q.len();
+            if q.is_empty() {
+                self.rack.remove(&r);
+            }
+        }
+    }
+
+    /// Dequeue cluster.
+    pub fn dequeue_cluster(&mut self, key: &QueueKey) {
+        let before = self.cluster.len();
+        self.cluster.remove(key);
+        self.total_entries -= before - self.cluster.len();
+    }
+
+    /// Machine queue.
+    pub fn machine_queue(&self, m: MachineId) -> Option<&WaitQueue> {
+        self.machine.get(&m)
+    }
+
+    /// Rack queue.
+    pub fn rack_queue(&self, r: RackId) -> Option<&WaitQueue> {
+        self.rack.get(&r)
+    }
+
+    /// Cluster queue.
+    pub fn cluster_queue(&self) -> &WaitQueue {
+        &self.cluster
+    }
+
+    /// Total entries.
+    pub fn total_entries(&self) -> usize {
+        self.total_entries
+    }
+
+    /// Collects candidates for resources freed on machine `m`, merged from
+    /// the machine's queue, its rack's queue and the cluster queue in
+    /// scheduling order: `(priority, level, seq)` — i.e. strictly by
+    /// priority, machine-locality winning ties, FIFO within that. Capped at
+    /// `limit` candidates.
+    pub fn candidates_for_machine(
+        &self,
+        m: MachineId,
+        rack: RackId,
+        free: &ResourceVec,
+        limit: usize,
+    ) -> Vec<(Level, QueueKey)> {
+        let mut out = Vec::new();
+        let empty = WaitQueue::new();
+        let mq = self.machine.get(&m).unwrap_or(&empty);
+        let rq = self.rack.get(&rack).unwrap_or(&empty);
+        let queues: [(&WaitQueue, Level); 3] = [
+            (mq, Level::Machine),
+            (rq, Level::Rack),
+            (&self.cluster, Level::Cluster),
+        ];
+        let mut iters: Vec<_> = queues
+            .iter()
+            .filter(|(q, _)| !q.hopeless_for(free))
+            .map(|(q, lvl)| (q.iter().peekable(), *lvl))
+            .collect();
+        while out.len() < limit {
+            // Pick the smallest (priority, level, seq) across the fronts.
+            let mut best: Option<(usize, (Priority, Level, u64))> = None;
+            for (i, (it, lvl)) in iters.iter_mut().enumerate() {
+                if let Some(&&k) = it.peek() {
+                    let cand = (k.priority, *lvl, k.seq);
+                    if best.map(|(_, b)| cand < b).unwrap_or(true) {
+                        best = Some((i, cand));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let (it, lvl) = &mut iters[i];
+            let k = *it.next().expect("peeked");
+            out.push((*lvl, k));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(p: u16, seq: u64, app: u32) -> QueueKey {
+        QueueKey {
+            priority: Priority(p),
+            seq,
+            app: AppId(app),
+            unit: UnitId(0),
+        }
+    }
+
+    fn fp(cpu: u64, mem: u64) -> ResourceVec {
+        ResourceVec::new(cpu, mem)
+    }
+
+    #[test]
+    fn queue_orders_by_priority_then_seq() {
+        let mut t = LocalityTree::new();
+        t.enqueue_cluster(key(5, 2, 1), &fp(100, 100));
+        t.enqueue_cluster(key(1, 3, 2), &fp(100, 100));
+        t.enqueue_cluster(key(5, 1, 3), &fp(100, 100));
+        let order: Vec<u32> = t.cluster_queue().iter().map(|k| k.app.0).collect();
+        assert_eq!(order, vec![2, 3, 1]);
+    }
+
+    #[test]
+    fn candidates_merge_prefers_machine_at_equal_priority() {
+        let mut t = LocalityTree::new();
+        // Same priority: cluster waiter submitted earlier than machine
+        // waiter, but machine level must still win the tie on priority.
+        t.enqueue_cluster(key(5, 1, 10), &fp(1, 1));
+        t.enqueue_machine(MachineId(0), key(5, 2, 20), &fp(1, 1));
+        t.enqueue_rack(RackId(0), key(5, 3, 30), &fp(1, 1));
+        let c = t.candidates_for_machine(MachineId(0), RackId(0), &fp(1000, 1000), 10);
+        let apps: Vec<u32> = c.iter().map(|(_, k)| k.app.0).collect();
+        assert_eq!(apps, vec![20, 30, 10]);
+    }
+
+    #[test]
+    fn candidates_respect_priority_over_level() {
+        let mut t = LocalityTree::new();
+        t.enqueue_machine(MachineId(0), key(5, 1, 20), &fp(1, 1));
+        t.enqueue_cluster(key(1, 2, 10), &fp(1, 1));
+        let c = t.candidates_for_machine(MachineId(0), RackId(0), &fp(1000, 1000), 10);
+        let apps: Vec<u32> = c.iter().map(|(_, k)| k.app.0).collect();
+        assert_eq!(apps, vec![10, 20], "higher priority wins regardless of level");
+    }
+
+    #[test]
+    fn hopeless_queues_are_skipped() {
+        let mut t = LocalityTree::new();
+        t.enqueue_cluster(key(1, 1, 1), &fp(5000, 5000));
+        // Free resources smaller than anything queued: no candidates.
+        let c = t.candidates_for_machine(MachineId(0), RackId(0), &fp(100, 100), 10);
+        assert!(c.is_empty());
+        // But a small entry re-opens the queue.
+        t.enqueue_cluster(key(1, 2, 2), &fp(50, 50));
+        let c = t.candidates_for_machine(MachineId(0), RackId(0), &fp(100, 100), 10);
+        assert_eq!(c.len(), 2, "bound is conservative: big entry also listed");
+    }
+
+    #[test]
+    fn dequeue_cleans_up_and_counts() {
+        let mut t = LocalityTree::new();
+        let k = key(1, 1, 1);
+        t.enqueue_machine(MachineId(3), k, &fp(1, 1));
+        t.enqueue_rack(RackId(1), k, &fp(1, 1));
+        t.enqueue_cluster(k, &fp(1, 1));
+        assert_eq!(t.total_entries(), 3);
+        t.dequeue_machine(MachineId(3), &k);
+        t.dequeue_rack(RackId(1), &k);
+        t.dequeue_cluster(&k);
+        assert_eq!(t.total_entries(), 0);
+        assert!(t.machine_queue(MachineId(3)).is_none(), "empty queues pruned");
+        // Double-dequeue is harmless.
+        t.dequeue_cluster(&k);
+        assert_eq!(t.total_entries(), 0);
+    }
+
+    #[test]
+    fn candidate_limit_caps_output() {
+        let mut t = LocalityTree::new();
+        for i in 0..100 {
+            t.enqueue_cluster(key(5, i, i as u32), &fp(1, 1));
+        }
+        let c = t.candidates_for_machine(MachineId(0), RackId(0), &fp(10, 10), 7);
+        assert_eq!(c.len(), 7);
+    }
+
+    #[test]
+    fn min_footprint_resets_when_queue_drains() {
+        let mut t = LocalityTree::new();
+        let small = key(1, 1, 1);
+        t.enqueue_cluster(small, &fp(10, 10));
+        t.dequeue_cluster(&small);
+        t.enqueue_cluster(key(1, 2, 2), &fp(500, 500));
+        // After drain+reinsert the bound reflects only the big entry.
+        let c = t.candidates_for_machine(MachineId(0), RackId(0), &fp(100, 100), 10);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,20 @@
+//! The FuxiMaster scheduling engine (paper Section 3).
+//!
+//! Split into:
+//! * [`free_pool`] — per-machine available resources with a rotating scan
+//!   cursor for load-balanced cluster-level grants;
+//! * [`locality_tree`] — the machine/rack/cluster waiting queues ("these
+//!   queues on machine, rack and cluster constitute a locality tree");
+//! * [`engine`] — the incremental scheduler tying them together;
+//! * [`preemption`] — quota and priority preemption (Section 3.4).
+
+pub mod engine;
+#[cfg(test)]
+mod engine_tests;
+pub mod free_pool;
+pub mod locality_tree;
+pub mod preemption;
+
+pub use engine::{Engine, EngineConfig, EngineEvent, RevokeReason, MASTER_UNIT};
+pub use free_pool::FreePool;
+pub use locality_tree::{LocalityTree, QueueKey};

@@ -1,0 +1,190 @@
+//! Hard/soft state separation and the FuxiMaster checkpoint (paper §4.3.1).
+//!
+//! "In order to reduce the overhead of state bookkeeping and accelerate
+//! state restoration, we separate the states into hard states and soft
+//! states. Only hard states such as job description and cluster-level
+//! machine blacklist are recorded by a light-weighted checkpoint. The
+//! checkpoint is conducted only when the job is submitted or stopped. The
+//! soft states are collected from all FuxiAgents and application masters at
+//! runtime during FuxiMaster failover."
+//!
+//! Everything else — grants, wants, free pools, locality-tree contents — is
+//! *soft*: reconstructed from `AgentAllocationReport` and
+//! `FullRequestSync` messages during rebuild (Figure 7).
+
+use fuxi_apsara::StoreHandle;
+use fuxi_proto::msg::AppDescription;
+use fuxi_proto::{AppId, JobId, Priority, QuotaGroupId, ResourceVec};
+use fuxi_sim::ActorId;
+use serde::{Deserialize, Serialize};
+
+/// Serializable form of an [`AppDescription`].
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct AppDescRecord {
+    /// Application type tag.
+    pub app_type: String,
+    /// Quota group the job bills against.
+    pub quota_group: u32,
+    /// Scheduling priority.
+    pub priority: u16,
+    /// The master cpu milli.
+    pub master_cpu_milli: u64,
+    /// The master memory mb.
+    pub master_memory_mb: u64,
+    /// Master binary package size, MB.
+    pub master_package_mb: f64,
+    /// Application-specific payload (JSON for DAG jobs).
+    pub payload: String,
+}
+
+impl From<&AppDescription> for AppDescRecord {
+    fn from(d: &AppDescription) -> Self {
+        Self {
+            app_type: d.app_type.clone(),
+            quota_group: d.quota_group.0,
+            priority: d.priority.0,
+            master_cpu_milli: d.master_resource.cpu_milli(),
+            master_memory_mb: d.master_resource.memory_mb(),
+            master_package_mb: d.master_package_mb,
+            payload: d.payload.clone(),
+        }
+    }
+}
+
+impl AppDescRecord {
+    /// To description.
+    pub fn to_description(&self) -> AppDescription {
+        AppDescription {
+            app_type: self.app_type.clone(),
+            quota_group: QuotaGroupId(self.quota_group),
+            priority: Priority(self.priority),
+            master_resource: ResourceVec::new(self.master_cpu_milli, self.master_memory_mb),
+            master_package_mb: self.master_package_mb,
+            payload: self.payload.clone(),
+        }
+    }
+}
+
+/// One running job as the checkpoint remembers it.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+pub struct JobRecord {
+    /// Job id.
+    pub job: u32,
+    /// Application id.
+    pub app: u32,
+    /// Submitting client's actor address.
+    pub client: u32,
+    /// Task description.
+    pub desc: AppDescRecord,
+}
+
+impl JobRecord {
+    /// Job id.
+    pub fn job_id(&self) -> JobId {
+        JobId(self.job)
+    }
+
+    /// App id.
+    pub fn app_id(&self) -> AppId {
+        AppId(self.app)
+    }
+
+    /// Client actor.
+    pub fn client_actor(&self) -> ActorId {
+        ActorId(self.client)
+    }
+}
+
+/// The FuxiMaster hard state: the complete checkpoint.
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct HardState {
+    /// Number of jobs to generate.
+    pub jobs: Vec<JobRecord>,
+    /// `(machine, reason-tag)` pairs from the cluster blacklist.
+    pub blacklist: Vec<(u32, u8)>,
+    /// Id allocators, so restarts never reuse an app/job id.
+    pub next_app: u32,
+}
+
+const KEY: &str = "fuxi-master/hard-state";
+
+impl HardState {
+    /// Writes the checkpoint ("conducted only when the job is submitted or
+    /// stopped" — the caller controls frequency; this is one write).
+    pub fn save(&self, store: &StoreHandle) {
+        store.put_json(KEY, self);
+    }
+
+    /// Loads the checkpoint; a missing checkpoint is an empty cold start.
+    pub fn load(store: &StoreHandle) -> HardState {
+        store.get_json(KEY).unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> JobRecord {
+        JobRecord {
+            job: 3,
+            app: 7,
+            client: 42,
+            desc: AppDescRecord::from(&AppDescription {
+                payload: "{\"Tasks\":{}}".to_owned(),
+                ..AppDescription::default()
+            }),
+        }
+    }
+
+    #[test]
+    fn desc_record_roundtrip() {
+        let d = AppDescription {
+            app_type: "fuxi_job".into(),
+            quota_group: QuotaGroupId(3),
+            priority: Priority(7),
+            master_resource: ResourceVec::new(1500, 4096),
+            master_package_mb: 250.0,
+            payload: "x".into(),
+        };
+        let rec = AppDescRecord::from(&d);
+        assert_eq!(rec.to_description(), d);
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let store = StoreHandle::new();
+        let hs = HardState {
+            jobs: vec![record()],
+            blacklist: vec![(5, 2)],
+            next_app: 8,
+        };
+        hs.save(&store);
+        let back = HardState::load(&store);
+        assert_eq!(back, hs);
+        assert_eq!(back.jobs[0].app_id(), AppId(7));
+        assert_eq!(back.jobs[0].client_actor(), ActorId(42));
+    }
+
+    #[test]
+    fn missing_checkpoint_is_cold_start() {
+        let store = StoreHandle::new();
+        let hs = HardState::load(&store);
+        assert!(hs.jobs.is_empty());
+        assert_eq!(hs.next_app, 0);
+    }
+
+    #[test]
+    fn checkpoint_is_lightweight() {
+        // The hard state must not balloon with cluster size: it carries only
+        // job descriptions and the blacklist, never per-machine soft state.
+        let store = StoreHandle::new();
+        let hs = HardState {
+            jobs: vec![record(); 10],
+            blacklist: vec![(1, 0)],
+            next_app: 11,
+        };
+        hs.save(&store);
+        assert!(store.bytes_written() < 10_000, "10 jobs ≈ a few KB");
+    }
+}

@@ -1,0 +1,215 @@
+//! The backup-instance (speculative execution) scheme (paper §4.3.2).
+//!
+//! "There are three criteria for the backup instance schemes. Firstly, the
+//! majority of total instances (e.g., 90%) have finished ... Secondly, the
+//! long tail instance must have already run for several times longer than
+//! the average instance running time estimated from the finished instances.
+//! Finally ... to distinguish [input-skew] instances from the long tail,
+//! users should also specify a normal running time."
+
+use fuxi_sim::SimTime;
+
+/// Backup-instance policy parameters.
+#[derive(Debug, Clone)]
+pub struct BackupConfig {
+    /// Criterion 1: fraction of instances that must have finished.
+    pub finished_quorum: f64,
+    /// Criterion 2: elapsed must exceed `slowdown × avg_finished_runtime`.
+    pub slowdown: f64,
+    /// Maximum simultaneous backup attempts per instance.
+    pub max_backups: u32,
+    /// Master switch.
+    pub enabled: bool,
+}
+
+impl Default for BackupConfig {
+    fn default() -> Self {
+        Self {
+            finished_quorum: 0.9,
+            slowdown: 2.0,
+            max_backups: 1,
+            enabled: true,
+        }
+    }
+}
+
+/// Online mean of finished-instance runtimes.
+#[derive(Debug, Clone, Default)]
+pub struct RuntimeStats {
+    sum_s: f64,
+    count: u64,
+}
+
+impl RuntimeStats {
+    /// Record.
+    pub fn record(&mut self, runtime_s: f64) {
+        self.sum_s += runtime_s;
+        self.count += 1;
+    }
+
+    /// Number of containers.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean s.
+    pub fn mean_s(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_s / self.count as f64
+        }
+    }
+}
+
+/// Applies the paper's three criteria to one running instance.
+///
+/// * `finished` / `total` — task-level completion state (criterion 1);
+/// * `stats` — runtimes of finished instances (criterion 2);
+/// * `normal_time_s` — the user-declared normal runtime; 0 disables the
+///   gate (criterion 3);
+/// * `existing_backups` — attempts already racing for this instance.
+#[allow(clippy::too_many_arguments)]
+pub fn should_backup(
+    cfg: &BackupConfig,
+    now: SimTime,
+    started: SimTime,
+    finished: u64,
+    total: u64,
+    stats: &RuntimeStats,
+    normal_time_s: f64,
+    existing_backups: u32,
+) -> bool {
+    if !cfg.enabled || total == 0 || stats.count() == 0 {
+        return false;
+    }
+    if existing_backups >= cfg.max_backups {
+        return false;
+    }
+    // Criterion 1: quorum finished, so the average is meaningful.
+    if (finished as f64) < cfg.finished_quorum * total as f64 {
+        return false;
+    }
+    let elapsed = now.since(started).as_secs_f64();
+    // Criterion 2: several times the estimated average.
+    if elapsed <= cfg.slowdown * stats.mean_s() {
+        return false;
+    }
+    // Criterion 3: beyond what the user calls normal (skew filter).
+    if normal_time_s > 0.0 && elapsed <= normal_time_s {
+        return false;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(mean: f64, n: u64) -> RuntimeStats {
+        let mut s = RuntimeStats::default();
+        for _ in 0..n {
+            s.record(mean);
+        }
+        s
+    }
+
+    fn base_check(now_s: f64, started_s: f64, finished: u64) -> bool {
+        should_backup(
+            &BackupConfig::default(),
+            SimTime::from_secs_f64(now_s),
+            SimTime::from_secs_f64(started_s),
+            finished,
+            100,
+            &stats(10.0, finished),
+            0.0,
+            0,
+        )
+    }
+
+    #[test]
+    fn fires_for_genuine_straggler() {
+        // 95/100 done, avg 10 s, this one has run 50 s.
+        assert!(base_check(60.0, 10.0, 95));
+    }
+
+    #[test]
+    fn quorum_gate() {
+        // Only 50/100 done: no backup however slow.
+        assert!(!base_check(60.0, 10.0, 50));
+    }
+
+    #[test]
+    fn slowdown_gate() {
+        // 95/100 done but elapsed (15 s) < 2 × avg (20 s).
+        assert!(!base_check(25.0, 10.0, 95));
+        // Exactly at the boundary is still "not slower than".
+        assert!(!base_check(30.0, 10.0, 95));
+        assert!(base_check(30.1, 10.0, 95));
+    }
+
+    #[test]
+    fn normal_time_gate_filters_skew() {
+        let cfg = BackupConfig::default();
+        let args = |normal: f64| {
+            should_backup(
+                &cfg,
+                SimTime::from_secs(60),
+                SimTime::from_secs(10),
+                95,
+                100,
+                &stats(10.0, 95),
+                normal,
+                0,
+            )
+        };
+        assert!(args(0.0), "gate disabled");
+        assert!(!args(120.0), "user says 120 s is normal: skew, not straggler");
+        assert!(args(40.0), "50 s elapsed > 40 s normal");
+    }
+
+    #[test]
+    fn backup_cap_and_disable() {
+        let mut cfg = BackupConfig::default();
+        let check = |cfg: &BackupConfig, existing| {
+            should_backup(
+                cfg,
+                SimTime::from_secs(60),
+                SimTime::from_secs(10),
+                95,
+                100,
+                &stats(10.0, 95),
+                0.0,
+                existing,
+            )
+        };
+        assert!(check(&cfg, 0));
+        assert!(!check(&cfg, 1), "max one backup by default");
+        cfg.enabled = false;
+        assert!(!check(&cfg, 0));
+    }
+
+    #[test]
+    fn no_backup_without_finished_samples() {
+        assert!(!should_backup(
+            &BackupConfig::default(),
+            SimTime::from_secs(100),
+            SimTime::ZERO,
+            0,
+            0,
+            &RuntimeStats::default(),
+            0.0,
+            0,
+        ));
+    }
+
+    #[test]
+    fn runtime_stats_mean() {
+        let mut s = RuntimeStats::default();
+        assert_eq!(s.mean_s(), 0.0);
+        s.record(10.0);
+        s.record(20.0);
+        assert!((s.mean_s() - 15.0).abs() < 1e-12);
+        assert_eq!(s.count(), 2);
+    }
+}

@@ -1,0 +1,297 @@
+//! Task graph analysis: wiring pipes into a DAG, cycle detection, and
+//! readiness tracking ("the JobMaster firstly parses the job description
+//! and analyzes the shuffle pipes to figure out the task topological order.
+//! Each time only the tasks whose input data are ready can be scheduled",
+//! Section 4.4).
+
+use crate::desc::JobDesc;
+use fuxi_proto::TaskId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One node of the task graph.
+#[derive(Debug, Clone)]
+pub struct TaskNode {
+    /// Task id (dense, stable for the job's lifetime).
+    pub id: TaskId,
+    /// Task name from the job description.
+    pub name: String,
+    /// Tasks whose output this task consumes.
+    pub upstream: Vec<TaskId>,
+    /// Tasks consuming this task's output.
+    pub downstream: Vec<TaskId>,
+    /// DFS input patterns feeding this task.
+    pub input_files: Vec<String>,
+    /// DFS outputs this task writes.
+    pub output_files: Vec<String>,
+}
+
+/// The analyzed DAG.
+#[derive(Debug, Clone)]
+pub struct TaskGraph {
+    /// Task nodes, indexed by `TaskId`.
+    pub nodes: Vec<TaskNode>,
+    by_name: BTreeMap<String, TaskId>,
+}
+
+impl TaskGraph {
+    /// Builds and validates the graph.
+    pub fn build(desc: &JobDesc) -> Result<TaskGraph, String> {
+        if desc.tasks.is_empty() {
+            return Err("job has no tasks".into());
+        }
+        let mut by_name = BTreeMap::new();
+        let mut nodes: Vec<TaskNode> = desc
+            .tasks
+            .keys()
+            .enumerate()
+            .map(|(i, name)| {
+                let id = TaskId(i as u32);
+                by_name.insert(name.clone(), id);
+                TaskNode {
+                    id,
+                    name: name.clone(),
+                    upstream: Vec::new(),
+                    downstream: Vec::new(),
+                    input_files: Vec::new(),
+                    output_files: Vec::new(),
+                }
+            })
+            .collect();
+        for (i, pipe) in desc.pipes.iter().enumerate() {
+            let src_task = pipe
+                .source
+                .task_name()
+                .map(|n| {
+                    by_name
+                        .get(n)
+                        .copied()
+                        .ok_or_else(|| format!("pipe {i}: unknown source task {n}"))
+                })
+                .transpose()?;
+            let dst_task = pipe
+                .destination
+                .task_name()
+                .map(|n| {
+                    by_name
+                        .get(n)
+                        .copied()
+                        .ok_or_else(|| format!("pipe {i}: unknown destination task {n}"))
+                })
+                .transpose()?;
+            match (src_task, dst_task) {
+                (Some(s), Some(d)) => {
+                    if s == d {
+                        return Err(format!("pipe {i}: self-loop on task {s}"));
+                    }
+                    if !nodes[d.0 as usize].upstream.contains(&s) {
+                        nodes[d.0 as usize].upstream.push(s);
+                        nodes[s.0 as usize].downstream.push(d);
+                    }
+                }
+                (None, Some(d)) => {
+                    let f = pipe
+                        .source
+                        .file_pattern
+                        .clone()
+                        .ok_or_else(|| format!("pipe {i}: source has neither file nor task"))?;
+                    nodes[d.0 as usize].input_files.push(f);
+                }
+                (Some(s), None) => {
+                    let f = pipe
+                        .destination
+                        .file_pattern
+                        .clone()
+                        .ok_or_else(|| format!("pipe {i}: destination has neither file nor task"))?;
+                    nodes[s.0 as usize].output_files.push(f);
+                }
+                (None, None) => {
+                    return Err(format!("pipe {i}: connects no tasks"));
+                }
+            }
+        }
+        let graph = TaskGraph { nodes, by_name };
+        graph.topo_order()?; // rejects cycles
+        Ok(graph)
+    }
+
+    /// Task id.
+    pub fn task(&self, id: TaskId) -> &TaskNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// By name.
+    pub fn by_name(&self, name: &str) -> Option<TaskId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Kahn topological order; `Err` on a cycle.
+    pub fn topo_order(&self) -> Result<Vec<TaskId>, String> {
+        let mut indeg: Vec<usize> = self.nodes.iter().map(|n| n.upstream.len()).collect();
+        let mut ready: Vec<TaskId> = self
+            .nodes
+            .iter()
+            .filter(|n| n.upstream.is_empty())
+            .map(|n| n.id)
+            .collect();
+        let mut order = Vec::with_capacity(self.nodes.len());
+        while let Some(t) = ready.pop() {
+            order.push(t);
+            for &d in &self.nodes[t.0 as usize].downstream {
+                indeg[d.0 as usize] -= 1;
+                if indeg[d.0 as usize] == 0 {
+                    ready.push(d);
+                }
+            }
+        }
+        if order.len() != self.nodes.len() {
+            return Err("job DAG contains a cycle".into());
+        }
+        Ok(order)
+    }
+
+    /// Tasks whose every upstream is in `finished` and which are not yet in
+    /// `started` — the next wave to schedule.
+    pub fn ready_tasks(&self, finished: &BTreeSet<TaskId>, started: &BTreeSet<TaskId>) -> Vec<TaskId> {
+        self.nodes
+            .iter()
+            .filter(|n| {
+                !started.contains(&n.id)
+                    && !finished.contains(&n.id)
+                    && n.upstream.iter().all(|u| finished.contains(u))
+            })
+            .map(|n| n.id)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::desc::{Endpoint, JobDesc, PipeDesc, TaskDesc};
+
+    fn pipe(src: Endpoint, dst: Endpoint) -> PipeDesc {
+        PipeDesc {
+            source: src,
+            destination: dst,
+        }
+    }
+
+    fn ap(s: &str) -> Endpoint {
+        Endpoint {
+            access_point: Some(s.to_owned()),
+            file_pattern: None,
+        }
+    }
+
+    fn file(s: &str) -> Endpoint {
+        Endpoint {
+            file_pattern: Some(s.to_owned()),
+            access_point: None,
+        }
+    }
+
+    fn diamond() -> JobDesc {
+        // Figure 6: T1 -> {T2, T3} -> T4.
+        let mut tasks = std::collections::BTreeMap::new();
+        for n in ["T1", "T2", "T3", "T4"] {
+            tasks.insert(n.to_owned(), TaskDesc::synthetic(2, 1.0));
+        }
+        JobDesc {
+            tasks,
+            pipes: vec![
+                pipe(file("pangu://in/*"), ap("T1:input")),
+                pipe(ap("T1:toT2"), ap("T2:fromT1")),
+                pipe(ap("T1:toT3"), ap("T3:fromT1")),
+                pipe(ap("T2:toT4"), ap("T4:fromT2")),
+                pipe(ap("T3:toT4"), ap("T4:fromT3")),
+                pipe(ap("T4:out"), file("pangu://out")),
+            ],
+        }
+    }
+
+    #[test]
+    fn builds_figure6_diamond() {
+        let g = TaskGraph::build(&diamond()).unwrap();
+        assert_eq!(g.len(), 4);
+        let t1 = g.by_name("T1").unwrap();
+        let t4 = g.by_name("T4").unwrap();
+        assert!(g.task(t1).upstream.is_empty());
+        assert_eq!(g.task(t1).input_files, vec!["pangu://in/*"]);
+        assert_eq!(g.task(t1).downstream.len(), 2);
+        assert_eq!(g.task(t4).upstream.len(), 2);
+        assert_eq!(g.task(t4).output_files, vec!["pangu://out"]);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let g = TaskGraph::build(&diamond()).unwrap();
+        let order = g.topo_order().unwrap();
+        let pos = |n: &str| order.iter().position(|&t| t == g.by_name(n).unwrap()).unwrap();
+        assert!(pos("T1") < pos("T2"));
+        assert!(pos("T1") < pos("T3"));
+        assert!(pos("T2") < pos("T4"));
+        assert!(pos("T3") < pos("T4"));
+    }
+
+    #[test]
+    fn ready_tasks_advance_in_waves() {
+        let g = TaskGraph::build(&diamond()).unwrap();
+        let mut finished = BTreeSet::new();
+        let started = BTreeSet::new();
+        let t1 = g.by_name("T1").unwrap();
+        assert_eq!(g.ready_tasks(&finished, &started), vec![t1]);
+        finished.insert(t1);
+        let wave2 = g.ready_tasks(&finished, &started);
+        assert_eq!(wave2.len(), 2);
+        finished.insert(g.by_name("T2").unwrap());
+        assert_eq!(
+            g.ready_tasks(&finished, &started),
+            vec![g.by_name("T3").unwrap()],
+            "T4 still blocked on T3"
+        );
+        finished.insert(g.by_name("T3").unwrap());
+        assert_eq!(g.ready_tasks(&finished, &started), vec![g.by_name("T4").unwrap()]);
+    }
+
+    #[test]
+    fn detects_cycles() {
+        let mut d = diamond();
+        d.pipes.push(pipe(ap("T4:back"), ap("T1:loop")));
+        assert!(TaskGraph::build(&d).unwrap_err().contains("cycle"));
+    }
+
+    #[test]
+    fn rejects_unknown_task_and_self_loop() {
+        let mut d = diamond();
+        d.pipes.push(pipe(ap("T9:x"), ap("T1:y")));
+        assert!(TaskGraph::build(&d).unwrap_err().contains("unknown source"));
+        let mut d = diamond();
+        d.pipes.push(pipe(ap("T1:a"), ap("T1:b")));
+        assert!(TaskGraph::build(&d).unwrap_err().contains("self-loop"));
+    }
+
+    #[test]
+    fn rejects_empty_job_and_empty_pipe() {
+        let d = JobDesc {
+            tasks: Default::default(),
+            pipes: vec![],
+        };
+        assert!(TaskGraph::build(&d).is_err());
+        let mut d = diamond();
+        d.pipes.push(PipeDesc {
+            source: Endpoint::default(),
+            destination: Endpoint::default(),
+        });
+        assert!(TaskGraph::build(&d).unwrap_err().contains("connects no tasks"));
+    }
+}

@@ -1,0 +1,243 @@
+//! The JSON job description (paper Section 4.1, Figure 6).
+//!
+//! "The framework accepts a JSON file as job description. The JSON file has
+//! a field 'Tasks' which describes the properties of each task including
+//! the executable binary path and other user customized parameters. The
+//! field 'Pipes' depicts all the data shuffle with each one having a
+//! 'Source' and 'Destination' access point associated with tasks."
+//!
+//! Field names are PascalCase to match the paper's sample document; the
+//! execution-model fields (durations, sizes) are this reproduction's
+//! "user customized parameters".
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One task ("T1": {...}).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields, rename_all = "PascalCase")]
+pub struct TaskDesc {
+    /// Binary path (informational; the simulation executes a model of it).
+    #[serde(default = "default_executable")]
+    pub executable: String,
+    /// Number of parallel instances.
+    pub instances: u32,
+    /// CPU per instance, cores (0.5 = the paper's synthetic workload).
+    #[serde(default = "default_cpu")]
+    pub cpu: f64,
+    /// Memory per instance, MB.
+    #[serde(default = "default_memory", rename = "MemoryMB")]
+    pub memory_mb: u64,
+    /// Mean instance duration, seconds (synthetic-duration mode).
+    #[serde(default)]
+    pub duration_s: f64,
+    /// Uniform jitter fraction applied to `duration_s` (0.2 = ±20%).
+    #[serde(default)]
+    pub duration_jitter: f64,
+    /// The user-declared "normal running time" that gates backup instances
+    /// ("users should also specify a normal running time of the instances
+    /// when configuring the backup instance schema"). 0 disables the gate.
+    #[serde(default)]
+    pub normal_time_s: f64,
+    /// Worker (container) cap; instances are multiplexed over these
+    /// (container reuse). Defaults to one worker per instance.
+    #[serde(default)]
+    pub max_workers: u32,
+    /// Scheduling priority of this task's ScheduleUnit.
+    #[serde(default = "default_priority")]
+    pub priority: u16,
+    /// Output produced per instance, MB (input to downstream shuffles).
+    #[serde(default, rename = "OutputMBPerInstance")]
+    pub output_mb_per_instance: f64,
+    /// When true, instance I/O goes through the simulated disk/NIC flow
+    /// model; when false, durations are purely synthetic.
+    #[serde(default)]
+    pub data_driven: bool,
+    /// Processing rate for data-driven instances, MB/s of input.
+    #[serde(default = "default_rate", rename = "ComputeMBPerS")]
+    pub compute_mb_per_s: f64,
+    /// Worker binary size (download dominates worker start overhead).
+    #[serde(default = "default_binary", rename = "BinaryMB")]
+    pub binary_mb: f64,
+    /// Maximum concurrent shuffle-fetch flows per instance.
+    #[serde(default = "default_fanout")]
+    pub fetch_fanout: u32,
+}
+
+fn default_executable() -> String {
+    "app".to_owned()
+}
+fn default_cpu() -> f64 {
+    0.5
+}
+fn default_memory() -> u64 {
+    2048
+}
+fn default_priority() -> u16 {
+    1000
+}
+fn default_rate() -> f64 {
+    100.0
+}
+fn default_binary() -> f64 {
+    400.0
+}
+fn default_fanout() -> u32 {
+    8
+}
+
+impl TaskDesc {
+    /// Effective worker cap.
+    pub fn worker_cap(&self) -> u32 {
+        if self.max_workers == 0 {
+            self.instances
+        } else {
+            self.max_workers.min(self.instances).max(1)
+        }
+    }
+}
+
+/// A pipe endpoint: either a DFS file pattern or a task access point
+/// (`"T1:toT2"`).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq, Default)]
+#[serde(deny_unknown_fields)]
+pub struct Endpoint {
+    #[serde(rename = "FilePattern", skip_serializing_if = "Option::is_none")]
+    /// DFS file pattern (`pangu://...`), for DFS endpoints.
+    pub file_pattern: Option<String>,
+    #[serde(rename = "AccessPoint", skip_serializing_if = "Option::is_none")]
+    /// Task access point (`"T1:out"`), for task endpoints.
+    pub access_point: Option<String>,
+}
+
+impl Endpoint {
+    /// Task name part of an access point (`"T1:input"` → `"T1"`).
+    pub fn task_name(&self) -> Option<&str> {
+        self.access_point
+            .as_deref()
+            .map(|ap| ap.split(':').next().unwrap_or(ap))
+    }
+}
+
+/// One data pipe.
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct PipeDesc {
+    #[serde(rename = "Source")]
+    /// Where the data comes from.
+    pub source: Endpoint,
+    #[serde(rename = "Destination")]
+    /// Where the data goes.
+    pub destination: Endpoint,
+}
+
+/// The whole job description (Figure 6).
+#[derive(Debug, Clone, Serialize, Deserialize, PartialEq)]
+#[serde(deny_unknown_fields)]
+pub struct JobDesc {
+    #[serde(rename = "Tasks")]
+    /// Tasks of the job.
+    pub tasks: BTreeMap<String, TaskDesc>,
+    #[serde(rename = "Pipes", default)]
+    /// Data pipes wiring tasks and DFS files together.
+    pub pipes: Vec<PipeDesc>,
+}
+
+impl JobDesc {
+    /// Parse.
+    pub fn parse(json: &str) -> Result<JobDesc, String> {
+        serde_json::from_str(json).map_err(|e| format!("job description: {e}"))
+    }
+
+    /// To json.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("job desc serializes")
+    }
+}
+
+// TaskDesc uses PascalCase on the wire to match the paper's document style.
+impl TaskDesc {
+    /// Synthetic.
+    pub fn synthetic(instances: u32, duration_s: f64) -> Self {
+        TaskDesc {
+            executable: default_executable(),
+            instances,
+            cpu: default_cpu(),
+            memory_mb: default_memory(),
+            duration_s,
+            duration_jitter: 0.0,
+            normal_time_s: 0.0,
+            max_workers: 0,
+            priority: default_priority(),
+            output_mb_per_instance: 0.0,
+            data_driven: false,
+            compute_mb_per_s: default_rate(),
+            binary_mb: default_binary(),
+            fetch_fanout: default_fanout(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FIGURE6_STYLE: &str = r#"{
+        "Tasks": {
+            "T1": {"Executable": "bin/t1", "Instances": 4, "OutputMBPerInstance": 10.0},
+            "T2": {"Instances": 2, "OutputMBPerInstance": 5.0},
+            "T3": {"Instances": 2, "OutputMBPerInstance": 5.0},
+            "T4": {"Instances": 1, "Cpu": 1.0, "MemoryMB": 4096}
+        },
+        "Pipes": [
+            {"Source": {"FilePattern": "pangu://input/*"}, "Destination": {"AccessPoint": "T1:input"}},
+            {"Source": {"AccessPoint": "T1:toT2"}, "Destination": {"AccessPoint": "T2:fromT1"}},
+            {"Source": {"AccessPoint": "T1:toT3"}, "Destination": {"AccessPoint": "T3:fromT1"}},
+            {"Source": {"AccessPoint": "T2:toT4"}, "Destination": {"AccessPoint": "T4:fromT2"}},
+            {"Source": {"AccessPoint": "T3:toT4"}, "Destination": {"AccessPoint": "T4:fromT3"}},
+            {"Source": {"AccessPoint": "T4:output"}, "Destination": {"FilePattern": "pangu://output"}}
+        ]
+    }"#;
+
+    #[test]
+    fn parses_figure6_document() {
+        let d = JobDesc::parse(FIGURE6_STYLE).unwrap();
+        assert_eq!(d.tasks.len(), 4);
+        assert_eq!(d.pipes.len(), 6);
+        assert_eq!(d.tasks["T1"].executable, "bin/t1");
+        assert_eq!(d.tasks["T1"].instances, 4);
+        assert_eq!(d.tasks["T2"].cpu, 0.5, "defaults applied");
+        assert_eq!(d.tasks["T4"].memory_mb, 4096);
+        assert_eq!(d.pipes[0].source.file_pattern.as_deref(), Some("pangu://input/*"));
+        assert_eq!(d.pipes[1].source.task_name(), Some("T1"));
+        assert_eq!(d.pipes[1].destination.task_name(), Some("T2"));
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let d = JobDesc::parse(FIGURE6_STYLE).unwrap();
+        let d2 = JobDesc::parse(&d.to_json()).unwrap();
+        assert_eq!(d, d2);
+    }
+
+    #[test]
+    fn rejects_unknown_fields() {
+        let bad = r#"{"Tasks": {"T1": {"Instances": 1, "Bogus": 3}}, "Pipes": []}"#;
+        assert!(JobDesc::parse(bad).is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_json() {
+        assert!(JobDesc::parse("{nope").is_err());
+    }
+
+    #[test]
+    fn worker_cap_rules() {
+        let mut t = TaskDesc::synthetic(10, 1.0);
+        assert_eq!(t.worker_cap(), 10, "default: one worker per instance");
+        t.max_workers = 3;
+        assert_eq!(t.worker_cap(), 3);
+        t.max_workers = 50;
+        assert_eq!(t.worker_cap(), 10, "cap never exceeds instances");
+    }
+}

@@ -1,0 +1,1490 @@
+//! The JobMaster actor: DAG-level task scheduling, resource negotiation
+//! with FuxiMaster, worker-container management, and user-transparent
+//! failover via snapshots (paper Sections 4.2–4.4).
+//!
+//! The hierarchical model of Figure 8: one JobMaster object per job doing
+//! high-level task scheduling; one [`TaskMaster`] object per task doing
+//! fine-grained instance scheduling; TaskWorker actors executing instances.
+
+use crate::backup::BackupConfig;
+use crate::blacklist::{Escalation, JobBlacklist, JobBlacklistConfig};
+use crate::dag::TaskGraph;
+use crate::desc::JobDesc;
+use crate::snapshot::{JobSnapshot, TaskSnapshot, INST_DONE, INST_PENDING, INST_RUNNING};
+use crate::task_master::{AssignmentOut, Attempt, InstState, InstanceRt, TaskMaster};
+use crate::worker::WorkerConfig;
+use fuxi_agent::ProcMeta;
+use fuxi_apsara::{NameRegistry, PanguHandle, StoreHandle};
+use fuxi_proto::msg::{SeqCheck, SeqReceiver, SeqSender, WorkerSpec};
+use fuxi_proto::request::{GrantDelta, RequestDelta, RequestState, ScheduleUnitDef};
+use fuxi_proto::topology::Topology;
+use fuxi_proto::{
+    AppId, InstanceOutcome, JobId, JobSummary, MachineId, Msg, Priority, ResourceVec, TaskId,
+    UnitId, WorkerId,
+};
+use fuxi_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::rc::Rc;
+
+/// JobMaster tuning.
+#[derive(Debug, Clone)]
+pub struct JobMasterConfig {
+    /// Worker id.
+    pub worker: WorkerConfig,
+    /// Backup-instance (straggler) policy.
+    pub backup: BackupConfig,
+    /// Blacklist configuration.
+    pub blacklist: JobBlacklistConfig,
+    /// Periodic full-state safety sync with FuxiMaster (also how a new
+    /// primary is discovered after master failover).
+    pub full_sync_interval: SimDuration,
+    /// Housekeeping cadence: backup scans, worker reconciliation, snapshot
+    /// flushes.
+    pub housekeeping_interval: SimDuration,
+    /// How long a restarted JobMaster collects worker status before
+    /// resuming scheduling.
+    pub recovery_window: SimDuration,
+    /// Cap on distinct shuffle source machines per downstream instance
+    /// (larger fan-ins are sampled and rescaled; bounds memory at
+    /// GraySort scale).
+    pub shuffle_fanout_cap: usize,
+    /// Fraction of its limit each worker actually consumes (the paper
+    /// observed ~40% real memory usage against scheduled amounts).
+    pub usage_factor: f64,
+    /// Idle workers kept as backup-instance capacity while a task drains.
+    pub idle_spares: usize,
+    /// Worker launch failures on one machine before the job avoids it.
+    pub launch_failures_to_avoid: u32,
+    /// How long to wait for a requested worker to register before assuming
+    /// its start was lost and retrying. Must exceed worst-case binary
+    /// download times under load.
+    pub worker_start_timeout_s: f64,
+    /// Fuxi's task/container separation (Section 3.2.3). When false, the
+    /// JobMaster behaves like YARN: every finished instance returns its
+    /// container and a fresh request/grant/download cycle precedes the next
+    /// one ("the node manager always reclaims back the resources ... the
+    /// resource manager has to conduct additional rounds of rescheduling").
+    /// The ablation benchmarks flip this.
+    pub container_reuse: bool,
+}
+
+impl Default for JobMasterConfig {
+    fn default() -> Self {
+        Self {
+            worker: WorkerConfig::default(),
+            backup: BackupConfig::default(),
+            blacklist: JobBlacklistConfig::default(),
+            full_sync_interval: SimDuration::from_secs(5),
+            housekeeping_interval: SimDuration::from_secs(2),
+            recovery_window: SimDuration::from_secs(2),
+            shuffle_fanout_cap: 64,
+            usage_factor: 0.4,
+            idle_spares: 1,
+            launch_failures_to_avoid: 2,
+            worker_start_timeout_s: 300.0,
+            container_reuse: true,
+        }
+    }
+}
+
+const TIMER_HOUSEKEEPING: u64 = 1;
+const TIMER_FULL_SYNC: u64 = 2;
+const TIMER_RECOVERY_DONE: u64 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum JmState {
+    Recovering,
+    Running,
+    Done,
+}
+
+/// The JobMaster actor.
+pub struct JobMaster {
+    app: AppId,
+    job: JobId,
+    cfg: JobMasterConfig,
+    naming: NameRegistry,
+    store: StoreHandle,
+    pangu: PanguHandle,
+    topo: Rc<Topology>,
+    payload: String,
+    master_resource: ResourceVec,
+    fm: Option<ActorId>,
+    state: JmState,
+    graph: Option<TaskGraph>,
+    job_desc: Option<JobDesc>,
+    tms: Vec<Option<TaskMaster>>,
+    finished_tasks: BTreeSet<TaskId>,
+    started_tasks: BTreeSet<TaskId>,
+    blacklist: JobBlacklist,
+    // AM-side protocol state (the mirror of FuxiMaster's view).
+    req_states: BTreeMap<UnitId, RequestState>,
+    ledger: fuxi_proto::request::GrantLedger,
+    tx: SeqSender,
+    rx: SeqReceiver,
+    // Worker management.
+    next_worker: u64,
+    worker_task: BTreeMap<WorkerId, TaskId>,
+    worker_actor: BTreeMap<WorkerId, ActorId>,
+    worker_requested_at: BTreeMap<WorkerId, SimTime>,
+    launch_failures: BTreeMap<MachineId, u32>,
+    /// Assignments made before the worker's actor address is known
+    /// (`WorkerRegister` can race ahead of `WorkerStarted`); flushed when
+    /// the address arrives.
+    undelivered: BTreeMap<WorkerId, (fuxi_proto::InstanceId, u32, fuxi_proto::InstanceWork)>,
+    snapshot_dirty: bool,
+    attached: bool,
+}
+
+impl JobMaster {
+    #[allow(clippy::too_many_arguments)]
+    /// Creates a new instance with the given configuration.
+    pub fn new(
+        app: AppId,
+        job: JobId,
+        cfg: JobMasterConfig,
+        naming: NameRegistry,
+        store: StoreHandle,
+        pangu: PanguHandle,
+        topo: Rc<Topology>,
+        payload: String,
+        master_resource: ResourceVec,
+    ) -> Self {
+        let blacklist = JobBlacklist::new(cfg.blacklist.clone());
+        Self {
+            app,
+            job,
+            cfg,
+            naming,
+            store,
+            pangu,
+            topo,
+            payload,
+            master_resource,
+            fm: None,
+            state: JmState::Running,
+            graph: None,
+            job_desc: None,
+            tms: Vec::new(),
+            finished_tasks: BTreeSet::new(),
+            started_tasks: BTreeSet::new(),
+            blacklist,
+            req_states: BTreeMap::new(),
+            ledger: Default::default(),
+            tx: SeqSender::new(),
+            rx: SeqReceiver::new(),
+            // Worker ids are cluster-unique: agents track workers from many
+            // apps in one table.
+            next_worker: ((app.0 as u64) << 32) | 1,
+            worker_task: BTreeMap::new(),
+            worker_actor: BTreeMap::new(),
+            worker_requested_at: BTreeMap::new(),
+            launch_failures: BTreeMap::new(),
+            undelivered: BTreeMap::new(),
+            snapshot_dirty: false,
+            attached: false,
+        }
+    }
+
+    fn unit_of(task: TaskId) -> UnitId {
+        UnitId(task.0)
+    }
+
+    fn task_of(unit: UnitId) -> TaskId {
+        TaskId(unit.0)
+    }
+
+    fn unit_def(&self, task: TaskId) -> ScheduleUnitDef {
+        let (cpu, mem, prio) = match self.tms[task.0 as usize].as_ref().map(|t| &t.desc) {
+            Some(d) => ((d.cpu * 1000.0) as u64, d.memory_mb, d.priority),
+            None => (500, 2048, 1000),
+        };
+        ScheduleUnitDef::new(
+            Self::unit_of(task),
+            Priority(prio),
+            ResourceVec::new(cpu, mem),
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // FM liaison
+    // ------------------------------------------------------------------
+
+    fn attach(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.fm = self.naming.master();
+        let Some(fm) = self.fm else { return };
+        let units: Vec<ScheduleUnitDef> = self
+            .started_tasks
+            .iter()
+            .map(|&t| self.unit_def(t))
+            .collect();
+        ctx.send(fm, Msg::AmAttach { app: self.app, units });
+        self.attached = true;
+        self.send_full_sync(ctx);
+    }
+
+    fn send_full_sync(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some(fm) = self.fm else { return };
+        let units: Vec<ScheduleUnitDef> = self.req_states.values().map(|s| s.def.clone()).collect();
+        let states: Vec<RequestState> = self.req_states.values().cloned().collect();
+        ctx.send(
+            fm,
+            Msg::FullRequestSync {
+                app: self.app,
+                units,
+                states,
+                held: self.ledger.snapshot(),
+            },
+        );
+        // The receiver re-baselines; restart delta numbering.
+        self.tx.reset();
+    }
+
+    fn send_deltas(&mut self, ctx: &mut Ctx<'_, Msg>, deltas: Vec<RequestDelta>) {
+        if deltas.iter().all(|d| d.is_empty()) {
+            return;
+        }
+        // Keep the mirror in lock-step with what we tell FuxiMaster.
+        for d in &deltas {
+            if let Some(st) = self.req_states.get_mut(&d.unit) {
+                st.apply(d);
+            }
+        }
+        if let Some(fm) = self.fm {
+            let seq = self.tx.next();
+            ctx.send(
+                fm,
+                Msg::RequestUpdate {
+                    app: self.app,
+                    seq,
+                    deltas,
+                },
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Task lifecycle
+    // ------------------------------------------------------------------
+
+    fn parse_and_build(&mut self, ctx: &mut Ctx<'_, Msg>) -> Result<(), String> {
+        let desc = JobDesc::parse(&self.payload)?;
+        let graph = TaskGraph::build(&desc)?;
+        self.tms = Vec::new();
+        self.tms.resize_with(graph.len(), || None);
+        self.graph = Some(graph);
+        self.job_desc = Some(desc);
+        let _ = ctx;
+        Ok(())
+    }
+
+    fn task_desc(&self, task: TaskId) -> crate::desc::TaskDesc {
+        let g = self.graph.as_ref().unwrap();
+        let name = &g.task(task).name;
+        self.job_desc.as_ref().expect("parsed at start").tasks[name].clone()
+    }
+
+    /// Builds the per-instance inputs for a task and creates its
+    /// TaskMaster.
+    fn start_task(&mut self, ctx: &mut Ctx<'_, Msg>, task: TaskId) {
+        if self.started_tasks.contains(&task) {
+            return;
+        }
+        self.started_tasks.insert(task);
+        let desc = self.task_desc(task);
+        let node = self.graph.as_ref().unwrap().task(task).clone();
+        let n = desc.instances.max(1);
+        // DFS inputs: chunks round-robined over instances.
+        let mut chunk_lists: Vec<Vec<fuxi_apsara::pangu::Chunk>> =
+            (0..n).map(|_| Vec::new()).collect();
+        for pattern in &node.input_files {
+            for file in self.pangu.matching(pattern) {
+                if let Some(f) = self.pangu.file(&file) {
+                    for (i, chunk) in f.chunks.into_iter().enumerate() {
+                        chunk_lists[i % n as usize].push(chunk);
+                    }
+                }
+            }
+        }
+        // Shuffle inputs from finished upstream tasks.
+        let shuffle = self.shuffle_reads_for(&node.upstream, n);
+        let mut instances = Vec::with_capacity(n as usize);
+        for i in 0..n {
+            let jitter = if desc.duration_jitter > 0.0 {
+                let j = desc.duration_jitter.min(0.99);
+                1.0 + ctx.rng().gen_range(-j..=j)
+            } else {
+                1.0
+            };
+            let input_mb: f64 = chunk_lists[i as usize].iter().map(|c| c.size_mb).sum::<f64>()
+                + shuffle.iter().map(|&(_, mb)| mb).sum::<f64>();
+            let data_compute = if desc.data_driven {
+                input_mb / desc.compute_mb_per_s.max(1e-6)
+            } else {
+                0.0
+            };
+            instances.push(InstanceRt {
+                input_chunks: std::mem::take(&mut chunk_lists[i as usize]),
+                shuffle_reads: shuffle.clone(),
+                compute_s: (desc.duration_s * jitter + data_compute).max(0.001),
+                state: InstState::Pending,
+                attempts: vec![],
+                next_attempt: 0,
+                backups_launched: 0,
+                output_machine: None,
+                runtime_s: None,
+            });
+        }
+        let tm = TaskMaster::new(task, desc.clone(), instances);
+        // Request containers: cluster want = worker cap, with locality
+        // hints spread across the machines holding the most input chunks
+        // (an even spread keeps workers near data on *all* of them instead
+        // of packing the first few hinted machines).
+        let cap = desc.worker_cap() as i64;
+        let raw_hints = tm.locality_hints(16);
+        let per_machine = (cap / raw_hints.len().max(1) as i64).max(1);
+        let hints: Vec<(MachineId, i64)> = raw_hints
+            .into_iter()
+            .map(|(m, c)| (m, (c as i64).min(per_machine)))
+            .collect();
+        let unit = Self::unit_of(task);
+        let def = ScheduleUnitDef::new(
+            unit,
+            Priority(desc.priority),
+            ResourceVec::new((desc.cpu * 1000.0) as u64, desc.memory_mb),
+        );
+        self.req_states.insert(unit, RequestState::new(def.clone()));
+        self.tms[task.0 as usize] = Some(tm);
+        if let Some(fm) = self.fm {
+            ctx.send(
+                fm,
+                Msg::AmAttach {
+                    app: self.app,
+                    units: vec![def],
+                },
+            );
+        }
+        let delta = RequestDelta {
+            unit,
+            machine: hints,
+            rack: vec![],
+            cluster: cap,
+            avoid_add: self.blacklist.job_level().iter().copied().collect(),
+            avoid_remove: vec![],
+        };
+        self.send_deltas(ctx, vec![delta]);
+        self.snapshot_dirty = true;
+        ctx.metrics().count("jm.tasks_started", 1);
+    }
+
+    /// Aggregated per-source-machine shuffle reads for one downstream
+    /// instance, capped at `shuffle_fanout_cap` distinct sources.
+    fn shuffle_reads_for(&self, upstream: &[TaskId], n_instances: u32) -> Vec<(MachineId, f64)> {
+        let mut per_machine: BTreeMap<MachineId, f64> = BTreeMap::new();
+        for &u in upstream {
+            if let Some(tm) = self.tms[u.0 as usize].as_ref() {
+                for inst in &tm.instances {
+                    if let Some(m) = inst.output_machine {
+                        *per_machine.entry(m).or_insert(0.0) += tm.desc.output_mb_per_instance;
+                    }
+                }
+            }
+        }
+        if per_machine.is_empty() {
+            return Vec::new();
+        }
+        let total: f64 = per_machine.values().sum();
+        let share = total / n_instances as f64;
+        let cap = self.cfg.shuffle_fanout_cap.max(1);
+        let entries: Vec<(MachineId, f64)> = per_machine.into_iter().collect();
+        if entries.len() <= cap {
+            entries
+                .into_iter()
+                .map(|(m, mb)| (m, mb / total * share))
+                .collect()
+        } else {
+            // Sample every k-th source and rescale so volume is preserved.
+            let k = entries.len().div_ceil(cap);
+            let sampled: Vec<(MachineId, f64)> =
+                entries.into_iter().step_by(k).collect();
+            let sampled_total: f64 = sampled.iter().map(|&(_, mb)| mb).sum();
+            sampled
+                .into_iter()
+                .map(|(m, mb)| (m, mb / sampled_total * share))
+                .collect()
+        }
+    }
+
+    fn finish_task(&mut self, ctx: &mut Ctx<'_, Msg>, task: TaskId) {
+        self.finished_tasks.insert(task);
+        ctx.metrics().count("jm.tasks_finished", 1);
+        // Cancel leftover demand and release all containers of this task.
+        let unit = Self::unit_of(task);
+        if let Some(st) = self.req_states.get(&unit) {
+            let mut delta = RequestDelta {
+                unit,
+                cluster: -(st.wants.cluster() as i64),
+                ..Default::default()
+            };
+            for (m, c) in st.wants.machines() {
+                delta.machine.push((m, -(c as i64)));
+            }
+            for (r, c) in st.wants.racks() {
+                delta.rack.push((r, -(c as i64)));
+            }
+            self.send_deltas(ctx, vec![delta]);
+        }
+        let workers: Vec<WorkerId> = self.tms[task.0 as usize]
+            .as_ref()
+            .map(|tm| tm.workers.keys().copied().collect())
+            .unwrap_or_default();
+        for w in workers {
+            self.release_worker(ctx, w);
+        }
+        // Materialise declared outputs in the DFS so chained jobs see them.
+        let node = self.graph.as_ref().unwrap().task(task).clone();
+        if !node.output_files.is_empty() {
+            let tm = self.tms[task.0 as usize].as_ref().unwrap();
+            let total_mb = tm.desc.output_mb_per_instance * tm.total_instances() as f64;
+            for f in &node.output_files {
+                let name = f.strip_prefix("pangu://").unwrap_or(f);
+                self.pangu.create(name, total_mb.max(1.0), 256.0, 3, &self.topo);
+            }
+        }
+        // Start the next wave.
+        let ready = self
+            .graph
+            .as_ref()
+            .unwrap()
+            .ready_tasks(&self.finished_tasks, &self.started_tasks);
+        for t in ready {
+            self.start_task(ctx, t);
+        }
+        self.snapshot_dirty = true;
+        if self.finished_tasks.len() == self.graph.as_ref().unwrap().len() {
+            self.complete(ctx, true, "completed".into());
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_, Msg>, success: bool, message: String) {
+        if self.state == JmState::Done {
+            return;
+        }
+        self.state = JmState::Done;
+        // Stop anything still running.
+        let all_workers: Vec<WorkerId> = self.worker_task.keys().copied().collect();
+        for w in all_workers {
+            self.release_worker(ctx, w);
+        }
+        if let Some(fm) = self.fm {
+            ctx.send(fm, Msg::AmDetach { app: self.app });
+            ctx.send(
+                fm,
+                Msg::JobFinished {
+                    job: self.job,
+                    app: self.app,
+                    success,
+                    message,
+                },
+            );
+        }
+        JobSnapshot::delete(&self.store, self.job.0);
+        // Account our gauge contributions away before dying.
+        self.set_obtained_gauge(ctx, 0.0, 0.0);
+        ctx.kill_self();
+    }
+
+    // ------------------------------------------------------------------
+    // Grants & workers
+    // ------------------------------------------------------------------
+
+    fn obtained_totals(&self) -> (f64, f64) {
+        let mut mem = 0.0;
+        let mut cpu = 0.0;
+        for unit in self.req_states.keys() {
+            if let Some(st) = self.req_states.get(unit) {
+                let total = self.ledger.total(*unit) as f64;
+                mem += total * st.def.resource.memory_mb() as f64;
+                cpu += total * st.def.resource.cpu_milli() as f64;
+            }
+        }
+        mem += self.master_resource.memory_mb() as f64;
+        cpu += self.master_resource.cpu_milli() as f64;
+        (mem, cpu)
+    }
+
+    fn set_obtained_gauge(&mut self, ctx: &mut Ctx<'_, Msg>, mem: f64, cpu: f64) {
+        let m = ctx.metrics();
+        let cur_mem = m.gauge(&format!("am.obtained_mem_mb/{}", self.app));
+        let cur_cpu = m.gauge(&format!("am.obtained_cpu_milli/{}", self.app));
+        m.gauge_add(&format!("am.obtained_mem_mb/{}", self.app), mem - cur_mem);
+        m.gauge_add(&format!("am.obtained_cpu_milli/{}", self.app), cpu - cur_cpu);
+        m.gauge_add("am.obtained_mem_mb", mem - cur_mem);
+        m.gauge_add("am.obtained_cpu_milli", cpu - cur_cpu);
+    }
+
+    fn refresh_obtained_gauge(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let (mem, cpu) = self.obtained_totals();
+        self.set_obtained_gauge(ctx, mem, cpu);
+    }
+
+    fn apply_grant_deltas(&mut self, ctx: &mut Ctx<'_, Msg>, grants: Vec<GrantDelta>) {
+        for g in &grants {
+            let unit = g.unit;
+            let task = Self::task_of(unit);
+            for &(m, delta) in &g.changes {
+                if delta >= 0 {
+                    if let Some(st) = self.req_states.get_mut(&unit) {
+                        st.wants.satisfied_on(&self.topo, m, delta as u64);
+                    }
+                } else if let Some(st) = self.req_states.get_mut(&unit) {
+                    // Revocation: demand returns at cluster level, and we
+                    // stop trusting that machine a little.
+                    st.wants.revoked((-delta) as u64);
+                    let _ = task;
+                }
+            }
+            self.ledger.apply(g);
+        }
+        self.refresh_obtained_gauge(ctx);
+        // Turn ledger state into running workers.
+        let tasks: BTreeSet<TaskId> = grants.iter().map(|g| Self::task_of(g.unit)).collect();
+        for task in tasks {
+            self.reconcile_workers(ctx, task);
+        }
+    }
+
+    /// Makes the task's live workers match the ledger: start missing ones,
+    /// retire extras (the revocation path: "application master might react
+    /// to the message by terminating the corresponding worker").
+    fn reconcile_workers(&mut self, ctx: &mut Ctx<'_, Msg>, task: TaskId) {
+        if self.state != JmState::Running || self.finished_tasks.contains(&task) {
+            return;
+        }
+        let Some(tm) = self.tms[task.0 as usize].as_ref() else {
+            return;
+        };
+        let unit = Self::unit_of(task);
+        let desired: BTreeMap<MachineId, u64> = self.ledger.machines(unit).collect();
+        let current = tm.worker_counts();
+        let mut to_start: Vec<(MachineId, u64)> = Vec::new();
+        let mut to_stop: Vec<(MachineId, u64)> = Vec::new();
+        for (&m, &want) in &desired {
+            let have = current.get(&m).copied().unwrap_or(0);
+            if want > have {
+                to_start.push((m, want - have));
+            }
+        }
+        for (&m, &have) in &current {
+            let want = desired.get(&m).copied().unwrap_or(0);
+            if have > want {
+                to_stop.push((m, have - want));
+            }
+        }
+        for (m, n) in to_start {
+            for _ in 0..n {
+                self.start_worker(ctx, task, m);
+            }
+        }
+        for (m, n) in to_stop {
+            // Idle workers go first; busy ones requeue their instance.
+            let tm = self.tms[task.0 as usize].as_ref().unwrap();
+            let mut victims: Vec<WorkerId> = tm
+                .workers_on(m)
+                .into_iter()
+                .filter(|w| tm.workers[w].busy.is_none())
+                .collect();
+            let busy: Vec<WorkerId> = tm
+                .workers_on(m)
+                .into_iter()
+                .filter(|w| !victims.contains(w))
+                .collect();
+            victims.extend(busy);
+            for w in victims.into_iter().take(n as usize) {
+                self.stop_worker_local(ctx, w);
+            }
+        }
+        self.assign_work(ctx, task);
+    }
+
+    fn start_worker(&mut self, ctx: &mut Ctx<'_, Msg>, task: TaskId, m: MachineId) {
+        let Some(agent) = self.naming.lookup(&format!("agent/{m}")) else {
+            return; // retried at next reconciliation
+        };
+        let tm = self.tms[task.0 as usize].as_mut().unwrap();
+        let worker = WorkerId(self.next_worker);
+        self.next_worker += 1;
+        let spec = WorkerSpec {
+            app: self.app,
+            worker,
+            unit: Self::unit_of(task),
+            limit: ResourceVec::new((tm.desc.cpu * 1000.0) as u64, tm.desc.memory_mb),
+            binary_mb: tm.desc.binary_mb,
+            master: ctx.id(),
+            usage_factor: self.cfg.usage_factor,
+        };
+        tm.add_worker(worker, m);
+        self.worker_task.insert(worker, task);
+        self.worker_requested_at.insert(worker, ctx.now());
+        ctx.send(agent, Msg::StartWorker { spec });
+        ctx.metrics().count("jm.workers_requested", 1);
+    }
+
+    /// Stops a worker without returning its grant (revocation already
+    /// removed it from the ledger).
+    fn stop_worker_local(&mut self, ctx: &mut Ctx<'_, Msg>, worker: WorkerId) {
+        let Some(task) = self.worker_task.remove(&worker) else {
+            return;
+        };
+        self.worker_requested_at.remove(&worker);
+        let machine = self.tms[task.0 as usize]
+            .as_ref()
+            .and_then(|tm| tm.workers.get(&worker))
+            .map(|w| w.machine);
+        if let Some(tm) = self.tms[task.0 as usize].as_mut() {
+            if tm.remove_worker(worker).is_some() {
+                self.snapshot_dirty = true;
+            }
+        }
+        self.worker_actor.remove(&worker);
+        if let Some(m) = machine {
+            if let Some(agent) = self.naming.lookup(&format!("agent/{m}")) {
+                ctx.send(
+                    agent,
+                    Msg::StopWorker {
+                        app: self.app,
+                        worker,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Stops a worker *and* returns its container to FuxiMaster (the
+    /// voluntary-return path: "when a worker is no longer needed").
+    fn release_worker(&mut self, ctx: &mut Ctx<'_, Msg>, worker: WorkerId) {
+        let Some(&task) = self.worker_task.get(&worker) else {
+            return;
+        };
+        let unit = Self::unit_of(task);
+        let machine = self.tms[task.0 as usize]
+            .as_ref()
+            .and_then(|tm| tm.workers.get(&worker))
+            .map(|w| w.machine);
+        self.stop_worker_local(ctx, worker);
+        if let Some(m) = machine {
+            if self.ledger.held(unit, m) > 0 {
+                self.ledger.apply(&GrantDelta::revoke(unit, m, 1));
+                if let Some(fm) = self.fm {
+                    ctx.send(
+                        fm,
+                        Msg::ReturnGrant {
+                            app: self.app,
+                            unit,
+                            machine: m,
+                            count: 1,
+                        },
+                    );
+                }
+            }
+        }
+        self.refresh_obtained_gauge(ctx);
+    }
+
+    fn assign_work(&mut self, ctx: &mut Ctx<'_, Msg>, task: TaskId) {
+        if self.state != JmState::Running {
+            return;
+        }
+        let Some(tm) = self.tms[task.0 as usize].as_mut() else {
+            return;
+        };
+        let out = tm.try_assign(ctx.now(), &self.blacklist);
+        self.dispatch_assignments(ctx, out);
+    }
+
+    fn dispatch_assignments(&mut self, ctx: &mut Ctx<'_, Msg>, out: Vec<AssignmentOut>) {
+        for a in out {
+            match self.worker_actor.get(&a.worker) {
+                Some(&actor) => {
+                    ctx.send(
+                        actor,
+                        Msg::AssignInstance {
+                            instance: a.instance,
+                            attempt: a.attempt,
+                            work: a.work,
+                        },
+                    );
+                }
+                None => {
+                    // Address not yet known; deliver on WorkerStarted.
+                    self.undelivered
+                        .insert(a.worker, (a.instance, a.attempt, a.work));
+                }
+            }
+            self.snapshot_dirty = true;
+        }
+    }
+
+    /// Retires idle workers a draining task no longer needs.
+    fn maybe_shrink(&mut self, ctx: &mut Ctx<'_, Msg>, task: TaskId) {
+        let Some(tm) = self.tms[task.0 as usize].as_ref() else {
+            return;
+        };
+        if tm.pending_count() > 0 || tm.is_complete() {
+            return;
+        }
+        let idle = tm.idle_workers();
+        if idle.len() > self.cfg.idle_spares {
+            let surplus = idle.len() - self.cfg.idle_spares;
+            for w in idle.into_iter().take(surplus) {
+                self.release_worker(ctx, w);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Instance events
+    // ------------------------------------------------------------------
+
+    fn on_instance_finished(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        worker: WorkerId,
+        instance: fuxi_proto::InstanceId,
+        attempt: u32,
+        outcome: InstanceOutcome,
+        runtime_s: f64,
+    ) {
+        let task = instance.task;
+        if self.tms.len() <= task.0 as usize {
+            return;
+        }
+        let Some(tm) = self.tms[task.0 as usize].as_mut() else {
+            return;
+        };
+        self.snapshot_dirty = true;
+        match outcome {
+            InstanceOutcome::Success => {
+                let was_done = tm
+                    .instances
+                    .get(instance.index as usize)
+                    .map(|i| i.state == InstState::Done)
+                    .unwrap_or(true);
+                // Table 2's "instance running overhead": the difference
+                // between the instance runtime as observed here and as
+                // reported by the worker.
+                let am_started = tm
+                    .instances
+                    .get(instance.index as usize)
+                    .and_then(|i| i.attempts.iter().find(|a| a.attempt == attempt))
+                    .map(|a| a.started);
+                let losers = tm.attempt_succeeded(worker, instance.index, attempt, runtime_s);
+                if was_done {
+                    // Duplicate delivery of an already-recorded result.
+                    return;
+                }
+                if let Some(s) = am_started {
+                    let am_runtime = ctx.now().since(s).as_secs_f64();
+                    ctx.metrics()
+                        .record("am.instance_overhead_s", (am_runtime - runtime_s).max(0.0));
+                }
+                for (lw, li, la) in losers {
+                    if let Some(&actor) = self.worker_actor.get(&lw) {
+                        ctx.send(actor, Msg::KillInstance { instance: li, attempt: la });
+                    }
+                    ctx.metrics().count("jm.backup_losers_killed", 1);
+                }
+                ctx.metrics().count("jm.instances_finished", 1);
+                if tm.is_complete() {
+                    self.finish_task(ctx, task);
+                    return;
+                }
+                if !self.cfg.container_reuse {
+                    // YARN-mode ablation: give the container back and
+                    // re-request capacity for the remaining work.
+                    let pending = tm.pending_count();
+                    self.release_worker(ctx, worker);
+                    if pending > 0 {
+                        let delta = RequestDelta {
+                            unit: Self::unit_of(task),
+                            cluster: 1,
+                            ..Default::default()
+                        };
+                        self.send_deltas(ctx, vec![delta]);
+                    }
+                    return;
+                }
+                self.assign_work(ctx, task);
+                self.maybe_shrink(ctx, task);
+            }
+            InstanceOutcome::Failed(reason) => {
+                let real_failure = tm.attempt_failed(worker, instance.index, attempt);
+                let machine = tm.workers.get(&worker).map(|w| w.machine);
+                if real_failure && reason != fuxi_proto::FailReason::Killed {
+                    ctx.metrics().count("jm.instance_failures", 1);
+                    if let Some(m) = machine {
+                        self.record_suspect(ctx, task, instance.index, m);
+                    }
+                }
+                self.assign_work(ctx, task);
+            }
+        }
+    }
+
+    fn record_suspect(&mut self, ctx: &mut Ctx<'_, Msg>, task: TaskId, instance: u32, m: MachineId) {
+        match self.blacklist.record_failure(task, instance, m) {
+            Escalation::Instance => {}
+            Escalation::Task => {
+                // "No longer be used by this task": avoid in future
+                // requests and retire workers already there.
+                let delta = RequestDelta {
+                    unit: Self::unit_of(task),
+                    avoid_add: vec![m],
+                    ..Default::default()
+                };
+                self.send_deltas(ctx, vec![delta]);
+                let victims: Vec<WorkerId> = self.tms[task.0 as usize]
+                    .as_ref()
+                    .map(|tm| tm.workers_on(m))
+                    .unwrap_or_default();
+                for w in victims {
+                    self.release_worker(ctx, w);
+                }
+                ctx.metrics().count("jm.task_blacklists", 1);
+            }
+            Escalation::Job => {
+                if let Some(fm) = self.fm {
+                    ctx.send(fm, Msg::BadMachineReport { app: self.app, machine: m });
+                }
+                ctx.metrics().count("jm.job_blacklists", 1);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshots & recovery
+    // ------------------------------------------------------------------
+
+    fn build_snapshot(&self) -> JobSnapshot {
+        let mut tasks = Vec::new();
+        for (i, tm) in self.tms.iter().enumerate() {
+            let task = TaskId(i as u32);
+            let Some(tm) = tm else {
+                tasks.push(TaskSnapshot {
+                    task: task.0,
+                    ..Default::default()
+                });
+                continue;
+            };
+            let mut snap = TaskSnapshot {
+                task: task.0,
+                started: true,
+                finished: self.finished_tasks.contains(&task),
+                instance_status: Vec::with_capacity(tm.instances.len()),
+                outputs: Vec::new(),
+                running: Vec::new(),
+            };
+            for (idx, inst) in tm.instances.iter().enumerate() {
+                let status = match inst.state {
+                    InstState::Pending => INST_PENDING,
+                    InstState::Running => INST_RUNNING,
+                    InstState::Done => INST_DONE,
+                };
+                snap.instance_status.push(status);
+                if let (InstState::Done, Some(m)) = (inst.state, inst.output_machine) {
+                    snap.outputs.push((
+                        idx as u32,
+                        m.0,
+                        tm.desc.output_mb_per_instance,
+                        inst.runtime_s.unwrap_or(0.0),
+                    ));
+                }
+                for a in &inst.attempts {
+                    snap.running.push((idx as u32, a.attempt, a.worker.0));
+                }
+            }
+            tasks.push(snap);
+        }
+        let mut workers = Vec::new();
+        for (&w, &task) in &self.worker_task {
+            let machine = self.tms[task.0 as usize]
+                .as_ref()
+                .and_then(|tm| tm.workers.get(&w))
+                .map(|x| x.machine.0)
+                .unwrap_or(0);
+            let actor = self.worker_actor.get(&w).map(|a| a.0).unwrap_or(u32::MAX);
+            workers.push((w.0, task.0, machine, actor));
+        }
+        JobSnapshot {
+            job: self.job.0,
+            app: self.app.0,
+            tasks,
+            workers,
+            next_worker: self.next_worker,
+        }
+    }
+
+    fn flush_snapshot(&mut self) {
+        if self.snapshot_dirty && self.state == JmState::Running {
+            self.build_snapshot().save(&self.store);
+            self.snapshot_dirty = false;
+        }
+    }
+
+    /// Rebuilds state from a snapshot after a JobMaster restart.
+    fn recover(&mut self, ctx: &mut Ctx<'_, Msg>, snap: JobSnapshot) {
+        self.state = JmState::Recovering;
+        ctx.metrics().count("jm.recoveries", 1);
+        self.next_worker = snap.next_worker;
+        // Rebuild finished/started sets and TaskMasters task by task, in
+        // topological order so shuffle inputs resolve.
+        let order = self.graph.as_ref().unwrap().topo_order().expect("validated");
+        let by_id: BTreeMap<u32, &TaskSnapshot> = snap.tasks.iter().map(|t| (t.task, t)).collect();
+        for task in order {
+            let Some(ts) = by_id.get(&task.0) else { continue };
+            if !ts.started {
+                continue;
+            }
+            self.started_tasks.insert(task);
+            let desc = self.task_desc(task);
+            let node = self.graph.as_ref().unwrap().task(task).clone();
+            let n = desc.instances.max(1);
+            let mut chunk_lists: Vec<Vec<fuxi_apsara::pangu::Chunk>> =
+                (0..n).map(|_| Vec::new()).collect();
+            for pattern in &node.input_files {
+                for file in self.pangu.matching(pattern) {
+                    if let Some(f) = self.pangu.file(&file) {
+                        for (i, chunk) in f.chunks.into_iter().enumerate() {
+                            chunk_lists[i % n as usize].push(chunk);
+                        }
+                    }
+                }
+            }
+            let shuffle = self.shuffle_reads_for(&node.upstream, n);
+            let outputs: BTreeMap<u32, (u32, f64)> = ts
+                .outputs
+                .iter()
+                .map(|&(i, m, _mb, rt)| (i, (m, rt)))
+                .collect();
+            let mut instances = Vec::with_capacity(n as usize);
+            for i in 0..n {
+                let status = ts.instance_status.get(i as usize).copied().unwrap_or(INST_PENDING);
+                let (state, output_machine, runtime_s) = match status {
+                    INST_DONE => {
+                        let (m, rt) = outputs.get(&i).copied().unwrap_or((0, 0.0));
+                        (InstState::Done, Some(MachineId(m)), Some(rt))
+                    }
+                    // Running instances become pending unless a live worker
+                    // confirms them during the recovery window.
+                    _ => (InstState::Pending, None, None),
+                };
+                instances.push(InstanceRt {
+                    input_chunks: std::mem::take(&mut chunk_lists[i as usize]),
+                    shuffle_reads: shuffle.clone(),
+                    compute_s: desc.duration_s.max(0.001),
+                    state,
+                    attempts: vec![],
+                    next_attempt: ts
+                        .running
+                        .iter()
+                        .filter(|&&(idx, _, _)| idx == i)
+                        .map(|&(_, a, _)| a + 1)
+                        .max()
+                        .unwrap_or(0),
+                    backups_launched: 0,
+                    output_machine,
+                    runtime_s,
+                });
+            }
+            let mut tm = TaskMaster::new(task, desc, instances);
+            tm.finished = ts
+                .instance_status
+                .iter()
+                .filter(|&&s| s == INST_DONE)
+                .count() as u64;
+            for &(_, _, _, rt) in &ts.outputs {
+                tm.stats.record(rt);
+            }
+            self.tms[task.0 as usize] = Some(tm);
+            if ts.finished {
+                self.finished_tasks.insert(task);
+            }
+            let unit = Self::unit_of(task);
+            let def = self.unit_def(task);
+            self.req_states.insert(unit, RequestState::new(def));
+        }
+        // Contact the workers the snapshot remembers ("collect the status
+        // from TaskWorker"); confirmations arrive as WorkerStatusReply.
+        for &(w, task, machine, actor) in &snap.workers {
+            let worker = WorkerId(w);
+            let task = TaskId(task);
+            if self.finished_tasks.contains(&task) {
+                continue;
+            }
+            if let Some(tm) = self.tms[task.0 as usize].as_mut() {
+                tm.add_worker(worker, MachineId(machine));
+            }
+            self.worker_task.insert(worker, task);
+            if actor != u32::MAX {
+                let a = ActorId(actor);
+                self.worker_actor.insert(worker, a);
+                ctx.send(a, Msg::WorkerStatusQuery);
+            }
+        }
+        ctx.timer(self.cfg.recovery_window, TIMER_RECOVERY_DONE);
+    }
+
+    fn finish_recovery(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.state != JmState::Recovering {
+            return;
+        }
+        self.state = JmState::Running;
+        // Workers that never replied are gone: drop them locally; the
+        // full sync below re-baselines grants with FuxiMaster.
+        let silent: Vec<WorkerId> = self
+            .worker_task
+            .keys()
+            .filter(|w| {
+                self.worker_actor
+                    .get(w)
+                    .map(|a| !ctx.alive(*a))
+                    .unwrap_or(true)
+            })
+            .copied()
+            .collect();
+        for w in silent {
+            let task = self.worker_task.remove(&w);
+            self.worker_actor.remove(&w);
+            if let Some(task) = task {
+                if let Some(tm) = self.tms[task.0 as usize].as_mut() {
+                    tm.remove_worker(w);
+                }
+            }
+        }
+        // Recompute outstanding demand: cap minus what we actually have.
+        for (unit, st) in self.req_states.iter_mut() {
+            let task = Self::task_of(*unit);
+            if self.finished_tasks.contains(&task) {
+                continue;
+            }
+            if let Some(tm) = self.tms[task.0 as usize].as_ref() {
+                if !tm.is_complete() {
+                    let cap = tm.desc.worker_cap() as u64;
+                    let have = tm.workers.len() as u64;
+                    st.wants = fuxi_proto::request::WantLevels::anywhere(cap.saturating_sub(have));
+                }
+            }
+        }
+        self.attach(ctx);
+        // Resume assigning to confirmed-idle workers.
+        let tasks: Vec<TaskId> = self.started_tasks.iter().copied().collect();
+        for t in tasks {
+            if !self.finished_tasks.contains(&t) {
+                self.assign_work(ctx, t);
+            }
+        }
+        // The job may already have been complete before the crash.
+        if self.graph.is_some() && self.finished_tasks.len() == self.graph.as_ref().unwrap().len() {
+            self.complete(ctx, true, "completed".into());
+        }
+        ctx.metrics().count("jm.recovery_done", 1);
+    }
+
+    fn summary(&self) -> JobSummary {
+        let mut s = JobSummary {
+            tasks_total: self.graph.as_ref().map(|g| g.len() as u32).unwrap_or(0),
+            tasks_finished: self.finished_tasks.len() as u32,
+            ..Default::default()
+        };
+        for tm in self.tms.iter().flatten() {
+            s.instances_total += tm.total_instances();
+            s.instances_running += tm.running_count();
+            s.instances_finished += tm.finished;
+            s.workers_active += tm.workers.len() as u64;
+        }
+        s
+    }
+}
+
+impl Actor<Msg> for JobMaster {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let meta = ProcMeta::JobMaster {
+            app: self.app,
+            job: self.job,
+            resource: self.master_resource.clone(),
+        };
+        ctx.register_proc(meta.encode());
+        self.fm = self.naming.master();
+        if let Err(e) = self.parse_and_build(ctx) {
+            ctx.metrics().count("jm.desc_rejected", 1);
+            self.complete(ctx, false, e);
+            return;
+        }
+        ctx.timer(self.cfg.housekeeping_interval, TIMER_HOUSEKEEPING);
+        ctx.timer(self.cfg.full_sync_interval, TIMER_FULL_SYNC);
+        if let Some(snap) = JobSnapshot::load(&self.store, self.job.0) {
+            self.recover(ctx, snap);
+            return;
+        }
+        self.attach(ctx);
+        let ready = self
+            .graph
+            .as_ref()
+            .unwrap()
+            .ready_tasks(&self.finished_tasks, &self.started_tasks);
+        for t in ready {
+            self.start_task(ctx, t);
+        }
+        self.flush_snapshot();
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        if self.state == JmState::Done {
+            return;
+        }
+        match msg {
+            Msg::GrantUpdate { seq, grants } => match self.rx.accept(seq) {
+                SeqCheck::Apply => self.apply_grant_deltas(ctx, grants),
+                SeqCheck::Duplicate => {
+                    ctx.metrics().count("jm.dup_grants_dropped", 1);
+                }
+                SeqCheck::Gap => {
+                    ctx.metrics().count("jm.grant_gaps", 1);
+                    if let Some(fm) = self.fm {
+                        ctx.send(fm, Msg::GrantSyncNeeded { app: self.app });
+                    }
+                }
+            },
+            Msg::FullGrantSync { snapshot } => {
+                self.rx.synced();
+                // Diff old → new and apply as deltas so workers reconcile.
+                let old = self.ledger.snapshot();
+                let mut deltas: Vec<GrantDelta> = Vec::new();
+                let to_map = |rows: &[(UnitId, Vec<(MachineId, u64)>)]| {
+                    let mut m: BTreeMap<(UnitId, MachineId), u64> = BTreeMap::new();
+                    for (u, per) in rows {
+                        for &(mach, c) in per {
+                            m.insert((*u, mach), c);
+                        }
+                    }
+                    m
+                };
+                let old_m = to_map(&old);
+                let new_m = to_map(&snapshot);
+                let keys: BTreeSet<(UnitId, MachineId)> =
+                    old_m.keys().chain(new_m.keys()).copied().collect();
+                for (u, mach) in keys {
+                    let o = old_m.get(&(u, mach)).copied().unwrap_or(0) as i64;
+                    let n = new_m.get(&(u, mach)).copied().unwrap_or(0) as i64;
+                    if n != o {
+                        deltas.push(GrantDelta {
+                            unit: u,
+                            changes: vec![(mach, n - o)],
+                        });
+                    }
+                }
+                if !deltas.is_empty() {
+                    self.apply_grant_deltas(ctx, deltas);
+                }
+            }
+            Msg::RequestSyncNeeded { .. } => self.send_full_sync(ctx),
+            Msg::WorkerStarted {
+                worker,
+                actor,
+                machine,
+            } => {
+                self.worker_actor.insert(worker, actor);
+                if let Some(&task) = self.worker_task.get(&worker) {
+                    if let Some(tm) = self.tms[task.0 as usize].as_mut() {
+                        tm.add_worker(worker, machine);
+                    }
+                }
+                if let Some((instance, attempt, work)) = self.undelivered.remove(&worker) {
+                    ctx.send(
+                        actor,
+                        Msg::AssignInstance {
+                            instance,
+                            attempt,
+                            work,
+                        },
+                    );
+                }
+            }
+            Msg::WorkerRegister {
+                app: _,
+                worker,
+                machine,
+            } => {
+                if let Some(t0) = self.worker_requested_at.remove(&worker) {
+                    let dt = ctx.now().since(t0).as_secs_f64();
+                    ctx.metrics().record("am.worker_start_overhead_s", dt);
+                }
+                // A registration always comes from a *fresh* process. If
+                // the TaskMaster thought this worker was mid-instance, that
+                // attempt died with the old process (agent restarted it):
+                // requeue it.
+                if let Some(&task) = self.worker_task.get(&worker) {
+                    self.worker_actor.insert(worker, from);
+                    if let Some(tm) = self.tms[task.0 as usize].as_mut() {
+                        if let Some((idx, attempt)) = tm.workers.get(&worker).and_then(|w| w.busy)
+                        {
+                            if self.undelivered.remove(&worker).is_none() {
+                                tm.abandon_attempt(idx, attempt);
+                                ctx.metrics().count("jm.attempts_lost_on_restart", 1);
+                            } else {
+                                // The assignment never reached the old
+                                // process; undo and let try_assign redo it.
+                                tm.abandon_attempt(idx, attempt);
+                            }
+                            if let Some(w) = tm.workers.get_mut(&worker) {
+                                w.busy = None;
+                            }
+                        }
+                        tm.worker_registered(worker, machine);
+                    }
+                    self.assign_work(ctx, task);
+                }
+            }
+            Msg::WorkerStartFailed {
+                worker,
+                machine,
+                reason,
+            } => {
+                ctx.metrics().count("jm.worker_start_failures", 1);
+                // Capacity races are scheduling noise, not machine faults:
+                // only real launch failures feed the blacklist.
+                let machine_fault = !reason.contains("capacity");
+                let avoid = if machine_fault {
+                    let fails = self.launch_failures.entry(machine).or_insert(0);
+                    *fails += 1;
+                    *fails >= self.cfg.launch_failures_to_avoid
+                } else {
+                    false
+                };
+                if let Some(&task) = self.worker_task.get(&worker) {
+                    let unit = Self::unit_of(task);
+                    self.stop_worker_local(ctx, worker);
+                    // Give the container back and re-ask for one elsewhere.
+                    if self.ledger.held(unit, machine) > 0 {
+                        self.ledger.apply(&GrantDelta::revoke(unit, machine, 1));
+                        if let Some(fm) = self.fm {
+                            ctx.send(
+                                fm,
+                                Msg::ReturnGrant {
+                                    app: self.app,
+                                    unit,
+                                    machine,
+                                    count: 1,
+                                },
+                            );
+                        }
+                    }
+                    let delta = RequestDelta {
+                        unit,
+                        cluster: 1,
+                        avoid_add: if avoid { vec![machine] } else { vec![] },
+                        ..Default::default()
+                    };
+                    self.send_deltas(ctx, vec![delta]);
+                    if avoid {
+                        if let Some(fm) = self.fm {
+                            ctx.send(
+                                fm,
+                                Msg::BadMachineReport {
+                                    app: self.app,
+                                    machine,
+                                },
+                            );
+                        }
+                    }
+                    self.refresh_obtained_gauge(ctx);
+                }
+            }
+            Msg::WorkerExited {
+                app: _,
+                worker,
+                machine: _,
+                reason: _,
+            } => {
+                // The process died (enforcement kill or unrestartable
+                // crash); its container may still be granted — reconcile
+                // starts a replacement if so.
+                if let Some(&task) = self.worker_task.get(&worker) {
+                    self.worker_actor.remove(&worker);
+                    self.worker_task.remove(&worker);
+                    if let Some(tm) = self.tms[task.0 as usize].as_mut() {
+                        tm.remove_worker(worker);
+                    }
+                    self.reconcile_workers(ctx, task);
+                }
+            }
+            Msg::InstanceFinished {
+                worker,
+                instance,
+                attempt,
+                outcome,
+                runtime_s,
+            } => self.on_instance_finished(ctx, worker, instance, attempt, outcome, runtime_s),
+            Msg::InstanceReport { .. } => {
+                // Progress feeds the status query path only.
+            }
+            Msg::WorkerStatusReply {
+                app: _,
+                worker,
+                machine,
+                running,
+            } => {
+                // Recovery confirmation from a surviving worker.
+                if let Some(&task) = self.worker_task.get(&worker) {
+                    if let Some(tm) = self.tms[task.0 as usize].as_mut() {
+                        tm.worker_registered(worker, machine);
+                        self.worker_actor.insert(worker, from);
+                        if let Some((inst, attempt, _)) = running {
+                            if inst.task == task
+                                && (inst.index as usize) < tm.instances.len()
+                                && tm.instances[inst.index as usize].state != InstState::Done
+                            {
+                                // Re-adopt the running attempt untouched —
+                                // "during the absence of JobMaster process,
+                                // all the workers are still running the
+                                // instances without interruption".
+                                let i = &mut tm.instances[inst.index as usize];
+                                i.state = InstState::Running;
+                                i.attempts.push(Attempt {
+                                    attempt,
+                                    worker,
+                                    machine,
+                                    started: ctx.now(),
+                                    confirmed: true,
+                                });
+                                i.next_attempt = i.next_attempt.max(attempt + 1);
+                                tm.workers.get_mut(&worker).unwrap().busy =
+                                    Some((inst.index, attempt));
+                            }
+                        }
+                    }
+                }
+            }
+            Msg::WorkerListQuery { app: _, machine } => {
+                // A restarted agent reconciling adopted processes.
+                let mut workers = Vec::new();
+                for (&w, &task) in &self.worker_task {
+                    let on_m = self.tms[task.0 as usize]
+                        .as_ref()
+                        .and_then(|tm| tm.workers.get(&w))
+                        .map(|x| x.machine == machine)
+                        .unwrap_or(false);
+                    if on_m {
+                        let actor = self.worker_actor.get(&w).copied().unwrap_or(ActorId::NONE);
+                        workers.push((w, actor));
+                    }
+                }
+                ctx.send(
+                    from,
+                    Msg::WorkerListReply {
+                        app: self.app,
+                        machine,
+                        workers,
+                    },
+                );
+            }
+            Msg::CapacityWarning { app: _, machine, .. } => {
+                // Act before the agent kills blindly: retire one idle (or
+                // any) worker on that machine.
+                let mut candidates: Vec<WorkerId> = Vec::new();
+                for (&w, &task) in &self.worker_task {
+                    if let Some(tm) = self.tms[task.0 as usize].as_ref() {
+                        if let Some(tw) = tm.workers.get(&w) {
+                            if tw.machine == machine {
+                                if tw.busy.is_none() {
+                                    candidates.insert(0, w);
+                                } else {
+                                    candidates.push(w);
+                                }
+                            }
+                        }
+                    }
+                }
+                if let Some(w) = candidates.first().copied() {
+                    self.stop_worker_local(ctx, w);
+                }
+            }
+            Msg::JmStatusQuery => {
+                let summary = self.summary();
+                ctx.send(
+                    from,
+                    Msg::JmStatusReply {
+                        job: self.job,
+                        summary,
+                    },
+                );
+            }
+            Msg::StopJob { .. } => {
+                self.complete(ctx, false, "stopped by user".into());
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        if self.state == JmState::Done {
+            return;
+        }
+        match tag {
+            TIMER_HOUSEKEEPING => {
+                if self.state == JmState::Running {
+                    // Workers that never came up (lost StartWorker or
+                    // WorkerStarted): drop and let reconciliation retry.
+                    let now = ctx.now();
+                    let stuck: Vec<WorkerId> = self
+                        .worker_requested_at
+                        .iter()
+                        .filter(|(_, &t0)| {
+                            now.since(t0).as_secs_f64() > self.cfg.worker_start_timeout_s
+                        })
+                        .map(|(&w, _)| w)
+                        .collect();
+                    for w in stuck {
+                        ctx.metrics().count("jm.worker_start_timeouts", 1);
+                        self.stop_worker_local(ctx, w);
+                    }
+                    let tasks: Vec<TaskId> = self.started_tasks.iter().copied().collect();
+                    for task in tasks {
+                        if self.finished_tasks.contains(&task) {
+                            continue;
+                        }
+                        self.reconcile_workers(ctx, task);
+                        // Backup (speculative) instances for stragglers.
+                        let now = ctx.now();
+                        let backup_cfg = self.cfg.backup.clone();
+                        if let Some(tm) = self.tms[task.0 as usize].as_mut() {
+                            let out = tm.backup_scan(&backup_cfg, now, &self.blacklist);
+                            if !out.is_empty() {
+                                ctx.metrics().count("jm.backups_launched", out.len() as u64);
+                            }
+                            self.dispatch_assignments(ctx, out);
+                        }
+                    }
+                    self.flush_snapshot();
+                }
+                ctx.timer(self.cfg.housekeeping_interval, TIMER_HOUSEKEEPING);
+            }
+            TIMER_FULL_SYNC => {
+                if self.state == JmState::Running {
+                    let current = self.naming.master();
+                    if current != self.fm || !self.attached {
+                        // Master failover: re-attach and re-send everything
+                        // (Figure 7's AM side).
+                        self.attach(ctx);
+                    } else {
+                        self.send_full_sync(ctx);
+                    }
+                }
+                ctx.timer(self.cfg.full_sync_interval, TIMER_FULL_SYNC);
+            }
+            TIMER_RECOVERY_DONE => self.finish_recovery(ctx),
+            _ => {}
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Streamline: the data-shuffle operator library shipped with the Fuxi SDK
+//! (paper Section 4.1: "for data shuffle, we encapsulate the common data
+//! operators like sort, merge-sort, reduce into a library named Streamline
+//! along with the released SDK").
+//!
+//! These are real, functional in-memory operators — the examples use them
+//! to compute actual results (word counts, sorted runs) while the cluster
+//! simulation models the distributed I/O around them.
+
+use std::collections::BTreeMap;
+
+/// Hash-partitions records by key into `n` buckets (the map-side shuffle).
+pub fn partition<K: std::hash::Hash, V>(records: Vec<(K, V)>, n: usize) -> Vec<Vec<(K, V)>> {
+    use std::hash::{DefaultHasher, Hasher};
+    assert!(n > 0, "partition count must be positive");
+    let mut buckets: Vec<Vec<(K, V)>> = (0..n).map(|_| Vec::new()).collect();
+    for (k, v) in records {
+        let mut h = DefaultHasher::new();
+        k.hash(&mut h);
+        let b = (h.finish() % n as u64) as usize;
+        buckets[b].push((k, v));
+    }
+    buckets
+}
+
+/// Sorts records by key (the spill-side sort).
+pub fn sort<K: Ord, V>(mut records: Vec<(K, V)>) -> Vec<(K, V)> {
+    records.sort_by(|a, b| a.0.cmp(&b.0));
+    records
+}
+
+/// Merges already-sorted runs into one sorted stream (the reduce-side
+/// merge-sort over fetched spills). O(total · log runs).
+pub fn merge_sort<K: Ord + Clone, V>(runs: Vec<Vec<(K, V)>>) -> Vec<(K, V)> {
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    #[derive(PartialEq, Eq)]
+    struct Head<K: Ord>(K, usize);
+    impl<K: Ord> PartialOrd for Head<K> {
+        fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl<K: Ord> Ord for Head<K> {
+        fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+            self.0.cmp(&other.0).then(self.1.cmp(&other.1))
+        }
+    }
+    let total: usize = runs.iter().map(Vec::len).sum();
+    let mut iters: Vec<std::vec::IntoIter<(K, V)>> =
+        runs.into_iter().map(Vec::into_iter).collect();
+    let mut heap = BinaryHeap::new();
+    let mut heads: Vec<Option<(K, V)>> = Vec::with_capacity(iters.len());
+    for (i, it) in iters.iter_mut().enumerate() {
+        match it.next() {
+            Some((k, v)) => {
+                heap.push(Reverse(Head(k.clone(), i)));
+                heads.push(Some((k, v)));
+            }
+            None => heads.push(None),
+        }
+    }
+    let mut out = Vec::with_capacity(total);
+    while let Some(Reverse(Head(_, i))) = heap.pop() {
+        let (k, v) = heads[i].take().expect("head present");
+        out.push((k, v));
+        if let Some((k2, v2)) = iters[i].next() {
+            heap.push(Reverse(Head(k2.clone(), i)));
+            heads[i] = Some((k2, v2));
+        }
+    }
+    out
+}
+
+/// Groups a key-sorted stream and folds each group (the reduce operator).
+pub fn reduce<K: Ord + Clone, V, A>(
+    sorted: Vec<(K, V)>,
+    init: impl Fn() -> A,
+    fold: impl Fn(&mut A, V),
+) -> Vec<(K, A)> {
+    let mut out: Vec<(K, A)> = Vec::new();
+    for (k, v) in sorted {
+        match out.last_mut() {
+            Some((lk, acc)) if *lk == k => fold(acc, v),
+            _ => {
+                let mut acc = init();
+                fold(&mut acc, v);
+                out.push((k, acc));
+            }
+        }
+    }
+    out
+}
+
+/// Convenience: word-count over raw text (tokenize → count), the classic
+/// first Fuxi job.
+pub fn word_count(text: &str) -> BTreeMap<String, u64> {
+    let mut counts = BTreeMap::new();
+    for word in text
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+    {
+        *counts.entry(word.to_lowercase()).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_deterministic_and_complete() {
+        let recs: Vec<(u32, u32)> = (0..100).map(|i| (i, i)).collect();
+        let parts = partition(recs.clone(), 7);
+        assert_eq!(parts.len(), 7);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+        let again = partition(recs, 7);
+        assert_eq!(parts, again);
+    }
+
+    #[test]
+    fn same_key_lands_in_same_partition() {
+        let recs = vec![("a", 1), ("b", 2), ("a", 3), ("b", 4)];
+        let parts = partition(recs, 4);
+        for p in &parts {
+            let mut keys: Vec<_> = p.iter().map(|(k, _)| *k).collect();
+            keys.dedup();
+            // within a partition all "a"s are together (trivially true),
+            // the real check: "a" appears in exactly one partition
+            let _ = keys;
+        }
+        let with_a: Vec<_> = parts
+            .iter()
+            .filter(|p| p.iter().any(|(k, _)| *k == "a"))
+            .collect();
+        assert_eq!(with_a.len(), 1);
+        assert_eq!(with_a[0].iter().filter(|(k, _)| *k == "a").count(), 2);
+    }
+
+    #[test]
+    fn sort_orders_by_key() {
+        let out = sort(vec![(3, 'c'), (1, 'a'), (2, 'b')]);
+        assert_eq!(out, vec![(1, 'a'), (2, 'b'), (3, 'c')]);
+    }
+
+    #[test]
+    fn merge_sort_merges_runs() {
+        let runs = vec![
+            vec![(1, 'a'), (4, 'd'), (7, 'g')],
+            vec![(2, 'b'), (5, 'e')],
+            vec![],
+            vec![(3, 'c'), (6, 'f')],
+        ];
+        let merged = merge_sort(runs);
+        let keys: Vec<i32> = merged.iter().map(|&(k, _)| k).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn merge_sort_equals_flat_sort() {
+        let a: Vec<(u32, u32)> = (0..50).map(|i| (i * 3 % 17, i)).collect();
+        let mut runs = vec![
+            sort(a[..20].to_vec()),
+            sort(a[20..35].to_vec()),
+            sort(a[35..].to_vec()),
+        ];
+        let merged: Vec<u32> = merge_sort(runs.drain(..).collect())
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect();
+        let flat: Vec<u32> = sort(a).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(merged, flat);
+    }
+
+    #[test]
+    fn reduce_folds_groups() {
+        let sorted = vec![("a", 1), ("a", 2), ("b", 5), ("c", 1), ("c", 1)];
+        let out = reduce(sorted, || 0i64, |acc, v| *acc += v as i64);
+        assert_eq!(out, vec![("a", 3), ("b", 5), ("c", 2)]);
+    }
+
+    #[test]
+    fn word_count_end_to_end() {
+        let counts = word_count("the quick brown fox, The QUICK fox!");
+        assert_eq!(counts["the"], 2);
+        assert_eq!(counts["quick"], 2);
+        assert_eq!(counts["fox"], 2);
+        assert_eq!(counts["brown"], 1);
+        assert_eq!(counts.len(), 4);
+    }
+}

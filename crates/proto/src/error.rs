@@ -1,0 +1,55 @@
+//! Error types shared across the Fuxi crates.
+
+use std::fmt;
+
+/// Errors arising from protocol-level validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// A delta referenced a ScheduleUnit the receiver does not know.
+    UnknownUnit(u32),
+    /// A delta referenced an application the receiver does not know.
+    UnknownApp(u32),
+    /// A sequence gap was detected on an incremental channel; the receiver
+    /// must request a full-state sync.
+    SequenceGap {
+        /// Sequence number the receiver expected next.
+        expected: u64,
+        /// Sequence number that actually arrived.
+        got: u64,
+    },
+    /// A message failed structural validation.
+    Malformed(String),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::UnknownUnit(u) => write!(f, "unknown schedule unit u{u}"),
+            ProtoError::UnknownApp(a) => write!(f, "unknown application app{a}"),
+            ProtoError::SequenceGap { expected, got } => {
+                write!(f, "sequence gap: expected {expected}, got {got}")
+            }
+            ProtoError::Malformed(s) => write!(f, "malformed message: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            ProtoError::SequenceGap {
+                expected: 3,
+                got: 5
+            }
+            .to_string(),
+            "sequence gap: expected 3, got 5"
+        );
+        assert_eq!(ProtoError::UnknownUnit(2).to_string(), "unknown schedule unit u2");
+    }
+}

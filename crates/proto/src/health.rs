@@ -1,0 +1,73 @@
+//! Node health telemetry carried in FuxiAgent heartbeats.
+//!
+//! Section 4.3.2: "we also introduce a plugin scheme to collect hardware
+//! information from the operating system to aid judgement of machine health.
+//! Disk statistics, machine load and network I/O are all collected to
+//! calculate a score." The report here is the data those plugins consume;
+//! the plugins themselves (and the scoring) live in `fuxi-core::blacklist`.
+
+use serde::{Deserialize, Serialize};
+
+/// A snapshot of one machine's health, produced by the FuxiAgent from the
+/// (simulated) operating system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeHealthReport {
+    /// Fraction of disks responding normally, in [0, 1]. Disk hang or
+    /// corruption drives this below 1.
+    pub disk_ok_ratio: f64,
+    /// Normalised 1-minute load average (1.0 = fully busy, >1 overloaded).
+    pub load: f64,
+    /// Recent network throughput as a fraction of NIC capacity, in [0, 1].
+    pub net_utilization: f64,
+    /// Worker launch failures observed since the previous report.
+    pub recent_launch_failures: u32,
+    /// Execution speed factor observed for this node (1.0 = nominal). The
+    /// simulator's SlowMachine fault lowers this.
+    pub speed_factor: f64,
+}
+
+impl Default for NodeHealthReport {
+    fn default() -> Self {
+        Self::healthy()
+    }
+}
+
+impl NodeHealthReport {
+    /// A report from a perfectly healthy, idle machine.
+    pub fn healthy() -> Self {
+        Self {
+            disk_ok_ratio: 1.0,
+            load: 0.0,
+            net_utilization: 0.0,
+            recent_launch_failures: 0,
+            speed_factor: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_defaults() {
+        let h = NodeHealthReport::default();
+        assert_eq!(h.disk_ok_ratio, 1.0);
+        assert_eq!(h.recent_launch_failures, 0);
+        assert_eq!(h.speed_factor, 1.0);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let h = NodeHealthReport {
+            disk_ok_ratio: 0.5,
+            load: 2.0,
+            net_utilization: 0.9,
+            recent_launch_failures: 3,
+            speed_factor: 0.25,
+        };
+        let s = serde_json::to_string(&h).unwrap();
+        let back: NodeHealthReport = serde_json::from_str(&s).unwrap();
+        assert_eq!(h, back);
+    }
+}

@@ -1,0 +1,175 @@
+//! Strongly-typed identifiers used across the Fuxi protocol.
+//!
+//! Newtypes (rather than bare integers) prevent the classic bug class of
+//! passing a machine index where an application id is expected; they are all
+//! `Copy` and order-preserving so they can key `BTreeMap`s on scheduler hot
+//! paths without allocation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident, $inner:ty, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize,
+            Deserialize,
+        )]
+        pub struct $name(pub $inner);
+
+        impl $name {
+            /// Raw integer value of this identifier.
+            #[inline]
+            pub const fn raw(self) -> $inner {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$inner> for $name {
+            #[inline]
+            fn from(v: $inner) -> Self {
+                Self(v)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A physical machine (cluster node). Dense indices `0..n_machines`.
+    MachineId, u32, "m"
+);
+id_type!(
+    /// A rack of machines. Dense indices `0..n_racks`.
+    RackId, u32, "r"
+);
+id_type!(
+    /// An application known to FuxiMaster (one JobMaster instance = one app).
+    AppId, u32, "app"
+);
+id_type!(
+    /// A `ScheduleUnit` within an application (Section 3.2.2). Applications
+    /// may define multiple units with distinct sizes and priorities.
+    UnitId, u32, "u"
+);
+id_type!(
+    /// A user-visible job (1:1 with an [`AppId`] in the DAG framework, but
+    /// kept distinct: jobs survive JobMaster restarts while the app
+    /// attachment may be re-established).
+    JobId, u32, "job"
+);
+id_type!(
+    /// A task (DAG node) within a job.
+    TaskId, u32, "t"
+);
+id_type!(
+    /// A worker process slot within an application (the unit of container
+    /// reuse: one worker may execute many instances, Section 3.2.3).
+    WorkerId, u64, "w"
+);
+id_type!(
+    /// A quota group (Section 3.4). Every application belongs to exactly one.
+    QuotaGroupId, u32, "q"
+);
+id_type!(
+    /// Tag correlating a simulated data flow (disk/network transfer) with the
+    /// actor-level operation that started it.
+    FlowTag, u64, "f"
+);
+
+/// An instance (one shard of a task's parallel work). Identified by its task
+/// and a dense index within the task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct InstanceId {
+    /// Task id.
+    pub task: TaskId,
+    /// Dense index within the task.
+    pub index: u32,
+}
+
+impl InstanceId {
+    #[inline]
+    /// New.
+    pub const fn new(task: TaskId, index: u32) -> Self {
+        Self { task, index }
+    }
+}
+
+impl fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.task, self.index)
+    }
+}
+
+/// Scheduling priority. **Smaller numeric value = more urgent**, so that the
+/// natural ordering of queue keys `(Priority, submit_seq)` pops the most
+/// urgent, oldest request first. The paper's example request (Figure 4) uses
+/// `priority: 1000` as a mid-range default, which we keep as [`Priority::DEFAULT`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Priority(pub u16);
+
+impl Priority {
+    /// Most urgent priority.
+    pub const HIGHEST: Priority = Priority(0);
+    /// Default priority used when a request does not specify one.
+    pub const DEFAULT: Priority = Priority(1000);
+    /// Least urgent priority.
+    pub const LOWEST: Priority = Priority(u16::MAX);
+
+    /// `true` if `self` is strictly more urgent than `other`.
+    #[inline]
+    pub fn more_urgent_than(self, other: Priority) -> bool {
+        self.0 < other.0
+    }
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::DEFAULT
+    }
+}
+
+impl fmt::Display for Priority {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_display_uses_prefix() {
+        assert_eq!(MachineId(7).to_string(), "m7");
+        assert_eq!(AppId(3).to_string(), "app3");
+        assert_eq!(InstanceId::new(TaskId(2), 9).to_string(), "t2#9");
+    }
+
+    #[test]
+    fn priority_ordering_smaller_is_more_urgent() {
+        assert!(Priority(1) < Priority(2));
+        assert!(Priority(1).more_urgent_than(Priority(2)));
+        assert!(!Priority(2).more_urgent_than(Priority(2)));
+        assert!(Priority::HIGHEST.more_urgent_than(Priority::DEFAULT));
+        assert!(Priority::DEFAULT.more_urgent_than(Priority::LOWEST));
+    }
+
+    #[test]
+    fn ids_roundtrip_raw() {
+        assert_eq!(MachineId::from(12).raw(), 12);
+        assert_eq!(WorkerId(99).raw(), 99);
+    }
+
+    #[test]
+    fn ids_are_ordered_by_value() {
+        let mut v = vec![MachineId(3), MachineId(1), MachineId(2)];
+        v.sort();
+        assert_eq!(v, vec![MachineId(1), MachineId(2), MachineId(3)]);
+    }
+}

@@ -1,0 +1,219 @@
+//! Cluster topology: the machine / rack / cluster hierarchy that resource
+//! requests are expressed against (paper Section 3.2.2: "Resources can fall
+//! into categories of three-level-tree hierarchy: machine, rack and
+//! cluster").
+
+use crate::ids::{MachineId, RackId};
+use crate::resource::ResourceVec;
+use serde::{Deserialize, Serialize};
+
+/// The locality level of a resource request entry or a waiting-queue node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Locality {
+    /// A specific machine ("computation at best happens where data resides").
+    Machine(MachineId),
+    /// Any machine in a given rack ("at least within the same network switch").
+    Rack(RackId),
+    /// Any machine in the cluster.
+    Cluster,
+}
+
+/// Hardware description of one machine. Defaults reproduce the paper's
+/// testbed nodes (Section 5): 2×2.20 GHz 6-core Xeon E5-2430, 96 GB memory,
+/// 12×2 TB disks, two gigabit Ethernet ports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Schedulable resource capacity.
+    pub resources: ResourceVec,
+    /// Aggregate sequential disk bandwidth, MB/s (12 spindles ≈ 100 MB/s each).
+    pub disk_bw_mbps: f64,
+    /// Network bandwidth per direction, MB/s (2×1 GbE ≈ 250 MB/s).
+    pub net_bw_mbps: f64,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        Self {
+            resources: ResourceVec::cores_mb(12, 96 * 1024),
+            disk_bw_mbps: 1200.0,
+            net_bw_mbps: 250.0,
+        }
+    }
+}
+
+/// Immutable cluster shape: which machines exist and which rack each belongs
+/// to. Capacity *changes* (node death, blacklisting) are tracked by the
+/// scheduler, not here.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    /// `machine_rack[m]` = rack of machine `m`.
+    machine_rack: Vec<RackId>,
+    /// `rack_machines[r]` = machines in rack `r`, ascending.
+    rack_machines: Vec<Vec<MachineId>>,
+    /// Per-machine hardware. Index = machine id.
+    specs: Vec<MachineSpec>,
+}
+
+impl Topology {
+    /// N machines.
+    pub fn n_machines(&self) -> usize {
+        self.machine_rack.len()
+    }
+
+    /// N racks.
+    pub fn n_racks(&self) -> usize {
+        self.rack_machines.len()
+    }
+
+    #[inline]
+    /// Rack of.
+    pub fn rack_of(&self, m: MachineId) -> RackId {
+        self.machine_rack[m.0 as usize]
+    }
+
+    /// Machines in rack.
+    pub fn machines_in_rack(&self, r: RackId) -> &[MachineId] {
+        &self.rack_machines[r.0 as usize]
+    }
+
+    #[inline]
+    /// Worker launch specification.
+    pub fn spec(&self, m: MachineId) -> &MachineSpec {
+        &self.specs[m.0 as usize]
+    }
+
+    /// Machines involved.
+    pub fn machines(&self) -> impl Iterator<Item = MachineId> + '_ {
+        (0..self.machine_rack.len() as u32).map(MachineId)
+    }
+
+    /// Racks.
+    pub fn racks(&self) -> impl Iterator<Item = RackId> + '_ {
+        (0..self.rack_machines.len() as u32).map(RackId)
+    }
+
+    /// Sum of schedulable capacity over all machines.
+    pub fn total_resources(&self) -> ResourceVec {
+        let mut total = ResourceVec::ZERO;
+        for s in &self.specs {
+            total.add(&s.resources);
+        }
+        total
+    }
+
+    /// `true` when both machines are in the same rack (drives the network
+    /// latency model).
+    pub fn same_rack(&self, a: MachineId, b: MachineId) -> bool {
+        self.rack_of(a) == self.rack_of(b)
+    }
+}
+
+/// Builds a regular topology: `racks × machines_per_rack` identical machines.
+/// Heterogeneous clusters can be described with [`TopologyBuilder::add_rack`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    racks: Vec<Vec<MachineSpec>>,
+}
+
+impl TopologyBuilder {
+    /// Creates a new instance with the given configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `n_racks` racks of `machines_per_rack` machines with `spec` each.
+    pub fn uniform(mut self, n_racks: usize, machines_per_rack: usize, spec: MachineSpec) -> Self {
+        for _ in 0..n_racks {
+            self.racks.push(vec![spec.clone(); machines_per_rack]);
+        }
+        self
+    }
+
+    /// Adds one rack with explicitly-specified machines.
+    pub fn add_rack(mut self, machines: Vec<MachineSpec>) -> Self {
+        self.racks.push(machines);
+        self
+    }
+
+    /// Build.
+    pub fn build(self) -> Topology {
+        let mut machine_rack = Vec::new();
+        let mut rack_machines = Vec::new();
+        let mut specs = Vec::new();
+        for (r, rack) in self.racks.into_iter().enumerate() {
+            let mut ids = Vec::with_capacity(rack.len());
+            for spec in rack {
+                let m = MachineId(machine_rack.len() as u32);
+                machine_rack.push(RackId(r as u32));
+                specs.push(spec);
+                ids.push(m);
+            }
+            rack_machines.push(ids);
+        }
+        Topology {
+            machine_rack,
+            rack_machines,
+            specs,
+        }
+    }
+}
+
+/// Convenience: the paper's 5,000-node testbed shape (Section 5), `scale` in
+/// (0, 1] shrinks it proportionally for laptop-sized runs.
+pub fn paper_testbed(scale: f64) -> Topology {
+    let racks = ((100.0 * scale).round() as usize).max(1);
+    TopologyBuilder::new()
+        .uniform(racks, 50, MachineSpec::default())
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_topology_shape() {
+        let t = TopologyBuilder::new()
+            .uniform(4, 10, MachineSpec::default())
+            .build();
+        assert_eq!(t.n_machines(), 40);
+        assert_eq!(t.n_racks(), 4);
+        assert_eq!(t.rack_of(MachineId(0)), RackId(0));
+        assert_eq!(t.rack_of(MachineId(39)), RackId(3));
+        assert_eq!(t.machines_in_rack(RackId(1)).len(), 10);
+        assert!(t.same_rack(MachineId(10), MachineId(19)));
+        assert!(!t.same_rack(MachineId(9), MachineId(10)));
+    }
+
+    #[test]
+    fn heterogeneous_racks() {
+        let small = MachineSpec {
+            resources: ResourceVec::cores_mb(4, 8 * 1024),
+            ..MachineSpec::default()
+        };
+        let t = TopologyBuilder::new()
+            .add_rack(vec![MachineSpec::default(); 2])
+            .add_rack(vec![small.clone(); 3])
+            .build();
+        assert_eq!(t.n_machines(), 5);
+        assert_eq!(t.spec(MachineId(3)).resources, small.resources);
+    }
+
+    #[test]
+    fn total_resources_sums_machines() {
+        let t = TopologyBuilder::new()
+            .uniform(2, 3, MachineSpec::default())
+            .build();
+        let total = t.total_resources();
+        assert_eq!(total.cpu_milli(), 6 * 12 * 1000);
+        assert_eq!(total.memory_mb(), 6 * 96 * 1024);
+    }
+
+    #[test]
+    fn paper_testbed_scales() {
+        let full = paper_testbed(1.0);
+        assert_eq!(full.n_machines(), 5000);
+        let tiny = paper_testbed(0.01);
+        assert_eq!(tiny.n_machines(), 50);
+    }
+}

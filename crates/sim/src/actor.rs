@@ -1,0 +1,181 @@
+//! Actors: the unit of concurrency in the simulated cluster.
+//!
+//! Every Fuxi component (FuxiMaster, FuxiAgent, JobMaster, TaskWorker, lock
+//! service, clients) is an [`Actor`]: single-threaded state machines that
+//! react to messages and timers through a [`Ctx`] handle onto the world.
+//! Actors may be *placed* on a machine — then they die with it — or be
+//! placeless services.
+
+use crate::event::{EventKind, KernelMsg};
+use crate::flow::FlowSpec;
+use crate::metrics::Metrics;
+use crate::time::{SimDuration, SimTime};
+use crate::world::WorldCore;
+use rand::rngs::SmallRng;
+use std::fmt;
+
+/// Address of an actor. Never reused within one world, so a stale address
+/// reliably refers to a dead actor (messages to it are counted and dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ActorId(pub u32);
+
+impl ActorId {
+    /// A placeholder address that is never alive (used before registration).
+    pub const NONE: ActorId = ActorId(u32::MAX);
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Behaviour of one simulated component.
+pub trait Actor<M: KernelMsg> {
+    /// Called once when the actor comes to life (after spawn).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, M>) {}
+
+    /// Called for each delivered message.
+    fn on_message(&mut self, ctx: &mut Ctx<'_, M>, from: ActorId, msg: M);
+
+    /// Called when a timer set via [`Ctx::timer`] fires. Timers cannot be
+    /// cancelled; actors discard stale ones by tag/generation convention.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_, M>, _tag: u64) {}
+}
+
+/// The handle through which an actor acts on the world. Borrowed for the
+/// duration of one handler invocation.
+pub struct Ctx<'a, M: KernelMsg> {
+    pub(crate) core: &'a mut WorldCore<M>,
+    pub(crate) self_id: ActorId,
+}
+
+impl<'a, M: KernelMsg> Ctx<'a, M> {
+    /// Current simulated time.
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.core.time
+    }
+
+    /// This actor's address.
+    #[inline]
+    pub fn id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// The machine this actor is placed on, if any.
+    pub fn self_machine(&self) -> Option<u32> {
+        self.core.machine_of(self.self_id)
+    }
+
+    /// Sends `msg` to `to` with modelled network latency.
+    pub fn send(&mut self, to: ActorId, msg: M) {
+        self.core.send_from(self.self_id, to, msg);
+    }
+
+    /// Sends `msg` to `to` after an explicit extra delay (e.g. modelling
+    /// local processing time before the reply goes out).
+    pub fn send_after(&mut self, delay: SimDuration, to: ActorId, msg: M) {
+        self.core.send_from_after(self.self_id, to, msg, delay);
+    }
+
+    /// Arms a timer that fires `on_timer(tag)` after `delay`.
+    pub fn timer(&mut self, delay: SimDuration, tag: u64) {
+        let at = self.core.time + delay;
+        self.core.queue.push(
+            at,
+            EventKind::Timer {
+                actor: self.self_id,
+                tag,
+            },
+        );
+    }
+
+    /// Spawns a new actor, optionally placed on a machine. The spawned
+    /// actor's `on_start` runs after the current handler returns. Returns
+    /// the new actor's address immediately so it can be communicated.
+    pub fn spawn(&mut self, machine: Option<u32>, actor: Box<dyn Actor<M>>) -> ActorId {
+        self.core.queue_spawn(machine, actor)
+    }
+
+    /// Terminates another actor after the current handler returns.
+    pub fn kill(&mut self, id: ActorId) {
+        self.core.queue_kill(id);
+    }
+
+    /// Terminates this actor after the current handler returns.
+    pub fn kill_self(&mut self) {
+        self.core.queue_kill(self.self_id);
+    }
+
+    /// `true` if `id` refers to a live actor.
+    pub fn alive(&self, id: ActorId) -> bool {
+        self.core.actor_alive(id)
+    }
+
+    /// The machine a live actor is placed on.
+    pub fn machine_of(&self, id: ActorId) -> Option<u32> {
+        self.core.machine_of(id)
+    }
+
+    /// `true` if machine `m` is up.
+    pub fn machine_up(&self, m: u32) -> bool {
+        self.core.machine_up(m)
+    }
+
+    /// The execution speed factor of machine `m` (1.0 nominal; SlowMachine
+    /// faults lower it).
+    pub fn machine_speed(&self, m: u32) -> f64 {
+        self.core.machine_speed(m)
+    }
+
+    /// `true` if process launches currently succeed on machine `m`
+    /// (PartialWorkerFailure faults turn this off).
+    pub fn launch_ok(&self, m: u32) -> bool {
+        self.core.launch_ok(m)
+    }
+
+    /// Rack of machine `m` (from the world's configuration).
+    pub fn rack_of(&self, m: u32) -> u32 {
+        self.core.rack_of(m)
+    }
+
+    /// Number of machines in the world.
+    pub fn n_machines(&self) -> usize {
+        self.core.n_machines()
+    }
+
+    /// Registers this actor in its machine's process table with opaque
+    /// metadata — the simulation equivalent of appearing in `/proc`, which
+    /// is how a restarted FuxiAgent adopts running workers (Section 4.3.1).
+    pub fn register_proc(&mut self, meta: Vec<u8>) {
+        self.core.register_proc(self.self_id, meta);
+    }
+
+    /// Reads machine `m`'s process table.
+    pub fn procs_on(&self, m: u32) -> Vec<(ActorId, Vec<u8>)> {
+        self.core.procs_on(m)
+    }
+
+    /// Starts a data flow. Completion arrives as `M::flow_done(tag, failed)`
+    /// addressed to this actor.
+    pub fn start_flow(&mut self, spec: FlowSpec) {
+        self.core.start_flow(self.self_id, spec);
+    }
+
+    /// Cancels all flows this actor started that have not completed
+    /// (no completion message will arrive for them).
+    pub fn cancel_own_flows(&mut self) {
+        self.core.cancel_flows_of(self.self_id);
+    }
+
+    /// Deterministic per-world RNG.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.core.rng
+    }
+
+    /// The world's metrics sink.
+    pub fn metrics(&mut self) -> &mut Metrics {
+        &mut self.core.metrics
+    }
+}

@@ -1,0 +1,157 @@
+//! The event queue: a binary heap of `(time, sequence)`-ordered events.
+//! The per-event sequence number makes simultaneous events deterministic.
+
+use crate::actor::ActorId;
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// The one requirement the kernel places on the message type: the flow
+/// subsystem must be able to fabricate I/O-completion messages addressed to
+/// the actor that started the flow.
+pub trait KernelMsg: std::fmt::Debug + 'static {
+    /// A message reporting that flow `tag` finished (`failed = true` when the
+    /// flow was aborted by a machine failure).
+    fn flow_done(tag: u64, failed: bool) -> Self;
+}
+
+pub(crate) enum EventKind<M: KernelMsg> {
+    /// Deliver `msg` from `from` to `to`.
+    Deliver {
+        to: ActorId,
+        from: ActorId,
+        msg: M,
+    },
+    /// Fire actor `actor`'s timer carrying `tag`.
+    Timer { actor: ActorId, tag: u64 },
+    /// Advance the flow model.
+    FlowTick,
+    /// Run a control closure against the whole world (fault injection,
+    /// scripted scenario steps).
+    Control(Box<dyn FnOnce(&mut crate::world::World<M>)>),
+}
+
+pub(crate) struct Event<M: KernelMsg> {
+    pub time: SimTime,
+    pub seq: u64,
+    pub kind: EventKind<M>,
+}
+
+impl<M: KernelMsg> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<M: KernelMsg> Eq for Event<M> {}
+
+impl<M: KernelMsg> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M: KernelMsg> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest event.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Min-heap of events by `(time, seq)`.
+pub(crate) struct EventQueue<M: KernelMsg> {
+    heap: BinaryHeap<Event<M>>,
+    next_seq: u64,
+}
+
+impl<M: KernelMsg> EventQueue<M> {
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(1024),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    pub fn pop(&mut self) -> Option<Event<M>> {
+        self.heap.pop()
+    }
+
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    #[allow(dead_code)]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct NoMsg;
+    impl KernelMsg for NoMsg {
+        fn flow_done(_: u64, _: bool) -> Self {
+            NoMsg
+        }
+    }
+
+    fn timer_ev(actor: u32) -> EventKind<NoMsg> {
+        EventKind::Timer {
+            actor: ActorId(actor),
+            tag: 0,
+        }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q: EventQueue<NoMsg> = EventQueue::new();
+        q.push(SimTime::from_secs(3), timer_ev(3));
+        q.push(SimTime::from_secs(1), timer_ev(1));
+        q.push(SimTime::from_secs(2), timer_ev(2));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.time.as_micros() / 1_000_000)
+            .collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q: EventQueue<NoMsg> = EventQueue::new();
+        for i in 0..10u32 {
+            q.push(SimTime::from_secs(1), timer_ev(i));
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop())
+            .map(|e| match e.kind {
+                EventKind::Timer { actor, .. } => actor.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_time_matches_next_pop() {
+        let mut q: EventQueue<NoMsg> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime::from_secs(7), timer_ev(0));
+        q.push(SimTime::from_secs(4), timer_ev(1));
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(4)));
+        assert_eq!(q.len(), 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Scriptable fault injection (paper Section 5.4, Table 3).
+//!
+//! A [`FaultPlan`] is a list of `(time, fault)` pairs applied to a world.
+//! The fault taxonomy matches the paper's injection experiment:
+//! **NodeDown** (machine halts unexpectedly), **PartialWorkerFailure**
+//! (disk corrupted — processes cannot be launched), **SlowMachine**
+//! (deliberate slowdown), plus actor-level kills used for the
+//! FuxiMasterFailure / JobMaster-failover experiments.
+
+use crate::actor::ActorId;
+use crate::event::KernelMsg;
+use crate::time::SimTime;
+use crate::world::World;
+
+/// One injectable fault.
+#[derive(Debug, Clone)]
+pub enum Fault {
+    /// The machine halts: all processes die, flows fail.
+    NodeDown(u32),
+    /// The machine comes back up empty.
+    NodeRestart(u32),
+    /// Worker launches fail on this machine while active.
+    PartialWorkerFailure {
+        /// Machine the fault applies to.
+        machine: u32,
+        /// Whether the fault is being applied (true) or cleared.
+        active: bool,
+    },
+    /// Compute on the machine runs at `factor` (< 1 is slow).
+    SlowMachine {
+        /// Machine the fault applies to.
+        machine: u32,
+        /// Compute-speed multiplier (< 1 is slow).
+        factor: f64,
+    },
+    /// Kill a single actor (e.g. the primary FuxiMaster or a JobMaster).
+    KillActor(ActorId),
+}
+
+/// A time-ordered fault script.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    events: Vec<(SimTime, Fault)>,
+}
+
+impl FaultPlan {
+    /// Creates a new instance with the given configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add.
+    pub fn add(&mut self, at: SimTime, fault: Fault) -> &mut Self {
+        self.events.push((at, fault));
+        self
+    }
+
+    /// With.
+    pub fn with(mut self, at: SimTime, fault: Fault) -> Self {
+        self.events.push((at, fault));
+        self
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when there are no entries.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events.
+    pub fn events(&self) -> &[(SimTime, Fault)] {
+        &self.events
+    }
+
+    /// Installs every fault into the world's control timeline.
+    pub fn install<M: KernelMsg>(&self, world: &mut World<M>) {
+        for (at, fault) in self.events.clone() {
+            world.at(at, move |w| apply(w, &fault));
+        }
+    }
+}
+
+/// Applies a single fault right now.
+pub fn apply<M: KernelMsg>(world: &mut World<M>, fault: &Fault) {
+    match *fault {
+        Fault::NodeDown(m) => world.kill_machine(m),
+        Fault::NodeRestart(m) => world.restart_machine(m),
+        Fault::PartialWorkerFailure { machine, active } => {
+            world.set_launch_ok(machine, !active);
+            world.metrics_mut().count("fault.partial_worker", 1);
+        }
+        Fault::SlowMachine { machine, factor } => {
+            world.set_machine_speed(machine, factor);
+            world.metrics_mut().count("fault.slow_machine", 1);
+        }
+        Fault::KillActor(id) => {
+            world.kill_actor(id);
+            world.metrics_mut().count("fault.kill_actor", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::actor::{Actor, Ctx};
+    use crate::world::WorldConfig;
+
+    #[derive(Debug)]
+    struct TMsg;
+    impl KernelMsg for TMsg {
+        fn flow_done(_: u64, _: bool) -> Self {
+            TMsg
+        }
+    }
+    struct Idle;
+    impl Actor<TMsg> for Idle {
+        fn on_message(&mut self, _: &mut Ctx<'_, TMsg>, _: ActorId, _: TMsg) {}
+    }
+
+    #[test]
+    fn plan_applies_in_time_order() {
+        let mut w: World<TMsg> = World::new(WorldConfig::uniform(4, 2, 1));
+        let a = w.spawn(Some(1), Box::new(Idle));
+        let plan = FaultPlan::new()
+            .with(SimTime::from_secs(1), Fault::SlowMachine { machine: 0, factor: 0.5 })
+            .with(SimTime::from_secs(2), Fault::NodeDown(1))
+            .with(
+                SimTime::from_secs(3),
+                Fault::PartialWorkerFailure { machine: 2, active: true },
+            );
+        assert_eq!(plan.len(), 3);
+        plan.install(&mut w);
+        w.run_until(SimTime::from_secs(10));
+        assert!(!w.machine_up(1));
+        assert!(!w.actor_alive(a));
+        assert_eq!(w.metrics().counter("fault.node_down"), 1);
+        assert_eq!(w.metrics().counter("fault.slow_machine"), 1);
+        assert_eq!(w.metrics().counter("fault.partial_worker"), 1);
+    }
+
+    #[test]
+    fn restart_brings_machine_back_clean() {
+        let mut w: World<TMsg> = World::new(WorldConfig::uniform(2, 2, 1));
+        FaultPlan::new()
+            .with(SimTime::from_secs(1), Fault::NodeDown(0))
+            .with(SimTime::from_secs(2), Fault::NodeRestart(0))
+            .install(&mut w);
+        w.run_until(SimTime::from_secs(3));
+        assert!(w.machine_up(0));
+    }
+
+    #[test]
+    fn kill_actor_fault() {
+        let mut w: World<TMsg> = World::new(WorldConfig::uniform(2, 2, 1));
+        let a = w.spawn(None, Box::new(Idle));
+        FaultPlan::new()
+            .with(SimTime::from_secs(1), Fault::KillActor(a))
+            .install(&mut w);
+        w.run_until(SimTime::from_secs(2));
+        assert!(!w.actor_alive(a));
+    }
+}

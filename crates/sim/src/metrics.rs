@@ -1,0 +1,307 @@
+//! Metrics recording: counters, time series and log-bucketed histograms.
+//!
+//! Every experiment binary reads its table/figure data out of the world's
+//! [`Metrics`] sink after the run.
+
+use std::collections::HashMap;
+
+/// A log-bucketed latency/size histogram with exact count/sum/min/max.
+/// Buckets are powers of `2^(1/4)` (≈19% wide), giving percentile estimates
+/// within a few percent across nine orders of magnitude — plenty for the
+/// paper's "average 0.88 ms, peak below 3 ms" style of claims.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+const BUCKETS: usize = 160; // covers [1e-9, ~1e3) with 4 buckets per octave
+const SCALE: f64 = 4.0; // buckets per doubling
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates a new instance with the given configuration.
+    pub fn new() -> Self {
+        Self {
+            buckets: vec![0; BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_of(v: f64) -> usize {
+        if v <= 1e-9 {
+            return 0;
+        }
+        let idx = ((v / 1e-9).log2() * SCALE).floor() as isize;
+        idx.clamp(0, BUCKETS as isize - 1) as usize
+    }
+
+    /// Lower bound of bucket `i`.
+    fn bucket_value(i: usize) -> f64 {
+        1e-9 * 2f64.powf(i as f64 / SCALE)
+    }
+
+    /// Record.
+    pub fn record(&mut self, v: f64) {
+        self.buckets[Self::bucket_of(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of containers.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Min.
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Max.
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate quantile `q` in [0, 1].
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Self::bucket_value(i + 1).min(self.max).max(self.min);
+            }
+        }
+        self.max
+    }
+
+    /// Merge.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// The per-world metrics sink.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    series: HashMap<String, Vec<(f64, f64)>>,
+    histograms: HashMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates a new instance with the given configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments counter `name` by `by`.
+    pub fn count(&mut self, name: &str, by: u64) {
+        match self.counters.get_mut(name) {
+            Some(c) => *c += by,
+            None => {
+                self.counters.insert(name.to_owned(), by);
+            }
+        }
+    }
+
+    /// Counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Adds `delta` (may be negative) to gauge `name`. Gauges let many
+    /// actors maintain one cluster-wide quantity (e.g. the paper's
+    /// `AM_obtained` / `FA_planned` curves) that a sampler turns into a
+    /// series.
+    pub fn gauge_add(&mut self, name: &str, delta: f64) {
+        match self.gauges.get_mut(name) {
+            Some(g) => *g += delta,
+            None => {
+                self.gauges.insert(name.to_owned(), delta);
+            }
+        }
+    }
+
+    /// Gauge.
+    pub fn gauge(&self, name: &str) -> f64 {
+        self.gauges.get(name).copied().unwrap_or(0.0)
+    }
+
+    /// Appends `(t_seconds, value)` to time series `name`.
+    pub fn push_series(&mut self, name: &str, t_s: f64, v: f64) {
+        match self.series.get_mut(name) {
+            Some(s) => s.push((t_s, v)),
+            None => {
+                self.series.insert(name.to_owned(), vec![(t_s, v)]);
+            }
+        }
+    }
+
+    /// Series.
+    pub fn series(&self, name: &str) -> &[(f64, f64)] {
+        self.series.get(name).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Series names.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Records `v` into histogram `name`.
+    pub fn record(&mut self, name: &str, v: f64) {
+        match self.histograms.get_mut(name) {
+            Some(h) => h.record(v),
+            None => {
+                let mut h = Histogram::new();
+                h.record(v);
+                self.histograms.insert(name.to_owned(), h);
+            }
+        }
+    }
+
+    /// Histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Mean of a series' values (time-unweighted).
+    pub fn series_mean(&self, name: &str) -> f64 {
+        let s = self.series(name);
+        if s.is_empty() {
+            0.0
+        } else {
+            s.iter().map(|&(_, v)| v).sum::<f64>() / s.len() as f64
+        }
+    }
+
+    /// Counters.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.count("msgs", 1);
+        m.count("msgs", 2);
+        assert_eq!(m.counter("msgs"), 3);
+        assert_eq!(m.counter("absent"), 0);
+    }
+
+    #[test]
+    fn series_append_and_mean() {
+        let mut m = Metrics::new();
+        m.push_series("util", 0.0, 10.0);
+        m.push_series("util", 1.0, 20.0);
+        assert_eq!(m.series("util").len(), 2);
+        assert!((m.series_mean("util") - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_basic_stats() {
+        let mut h = Histogram::new();
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert!((h.mean() - 2.5).abs() < 1e-12);
+        assert_eq!(h.min(), 1.0);
+        assert_eq!(h.max(), 4.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_are_close() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64 * 1e-3); // 1ms .. 1s
+        }
+        let p50 = h.quantile(0.5);
+        assert!(p50 > 0.4 && p50 < 0.65, "p50 = {p50}");
+        let p99 = h.quantile(0.99);
+        assert!(p99 > 0.9 && p99 <= 1.01, "p99 = {p99}");
+        assert!(h.quantile(1.0) <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_combines_counts() {
+        let mut a = Histogram::new();
+        a.record(0.001);
+        let mut b = Histogram::new();
+        b.record(0.1);
+        b.record(0.2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.max(), 0.2);
+        assert_eq!(a.min(), 0.001);
+    }
+
+    #[test]
+    fn metrics_histogram_via_record() {
+        let mut m = Metrics::new();
+        m.record("lat", 0.5);
+        m.record("lat", 1.5);
+        assert_eq!(m.histogram("lat").unwrap().count(), 2);
+        assert!(m.histogram("none").is_none());
+    }
+
+    #[test]
+    fn empty_histogram_is_sane() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.max(), 0.0);
+    }
+}

@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! # fuxi-workloads
+//!
+//! Workload and trace generators for the paper's evaluation (Section 5):
+//!
+//! * [`mapreduce`] — WordCount / Terasort job-description builders (the two
+//!   applications of the synthetic workload experiment, §5.2.1);
+//! * [`synthetic`] — the 1,000-concurrent-jobs mix with (map, reduce)
+//!   sizes {(10,10), (100,10), (100,100), (1k,100), (1k,1k), (10k,5k)}
+//!   evenly distributed and durations between 10 s and 10 min;
+//! * [`sortbench`] — GraySort / PetaSort data-driven sort jobs (§5.3,
+//!   Table 4);
+//! * [`trace`] — a synthetic production-trace generator calibrated to the
+//!   Table 1 statistics (91,990 jobs, 42M instances).
+
+pub mod mapreduce;
+pub mod sortbench;
+pub mod synthetic;
+pub mod trace;
+
+pub use mapreduce::{terasort_job, wordcount_job, MapReduceParams};
+pub use sortbench::{graysort_job, SortParams};
+pub use synthetic::{SyntheticMix, SyntheticSpec};
+pub use trace::{TraceConfig, TraceStats};

@@ -1,0 +1,65 @@
+//! A pocket GraySort (paper §5.3): a data-driven two-phase external sort
+//! where every byte moves through the simulated disks and NICs. Prints the
+//! sort throughput the way the sortbenchmark.org results do.
+//!
+//! Run: `cargo run --release --example graysort`
+//! (pass a scale factor to sort more, e.g. `-- 0.01` for 1 TB)
+
+use fuxi::cluster::{Cluster, ClusterConfig, SubmitOpts};
+use fuxi::proto::topology::MachineSpec;
+use fuxi::proto::ResourceVec;
+use fuxi::sim::SimTime;
+use fuxi::workloads::sortbench::{graysort_job, SortParams};
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.002); // 200 GB by default
+    let machines = ((5000.0 * scale).round() as usize).max(10);
+    let mut cluster = Cluster::new(ClusterConfig {
+        n_machines: machines,
+        rack_size: 50,
+        machine_spec: MachineSpec {
+            resources: ResourceVec::cores_mb(24, 96 * 1024),
+            ..MachineSpec::default()
+        },
+        seed: 2013, // the year of the record
+        ..ClusterConfig::default()
+    });
+    let params = SortParams::graysort(scale);
+    println!(
+        "GraySort: {:.2} TB over {} machines ({} map / {} reduce instances)",
+        params.total_gb / 1024.0,
+        machines,
+        params.maps,
+        params.reduces
+    );
+    cluster.pangu.create(
+        &params.input_file,
+        params.total_gb * 1024.0,
+        params.chunk_mb,
+        3,
+        &cluster.topo,
+    );
+    let job = cluster.submit(&graysort_job(&params), &SubmitOpts::default());
+    let (ok, at) = cluster
+        .run_until_job_done(job, SimTime::from_secs(100_000))
+        .expect("sort finishes");
+    assert!(ok);
+    let tb = params.total_gb / 1024.0;
+    println!(
+        "\nsorted {:.2} TB in {:.0} simulated seconds = {:.3} TB/min",
+        tb,
+        at,
+        tb / (at / 60.0)
+    );
+    println!("paper, full scale: 100 TB in 2538 s = 2.364 TB/min on 5,000 nodes");
+    let m = cluster.world.metrics();
+    println!(
+        "\nflows: {}   scheduler grants: {}   containers: {}",
+        m.counter("flow.started"),
+        m.counter("fm.grant_updates"),
+        m.counter("jm.workers_requested"),
+    );
+}

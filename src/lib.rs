@@ -1,0 +1,50 @@
+#![warn(missing_docs)]
+//! # fuxi — umbrella crate
+//!
+//! Re-exports the public API of every crate in the Fuxi reproduction
+//! (VLDB 2014) so examples and downstream users can depend on a single
+//! crate. See `README.md` for a guided tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ```
+//! use fuxi::cluster::{Cluster, ClusterConfig, SubmitOpts};
+//! use fuxi::job::JobDesc;
+//! use fuxi::sim::SimTime;
+//!
+//! // A small simulated cluster with one FuxiAgent per machine.
+//! let mut cluster = Cluster::new(ClusterConfig {
+//!     n_machines: 8,
+//!     rack_size: 4,
+//!     seed: 7,
+//!     ..ClusterConfig::default()
+//! });
+//!
+//! // Jobs are described in the paper's JSON format (Figure 6).
+//! let desc = JobDesc::parse(r#"{
+//!     "Tasks": {
+//!         "map":    {"Instances": 8, "DurationS": 2.0, "OutputMBPerInstance": 4.0,
+//!                    "BinaryMB": 10.0},
+//!         "reduce": {"Instances": 2, "DurationS": 2.0, "BinaryMB": 10.0}
+//!     },
+//!     "Pipes": [
+//!         {"Source": {"AccessPoint": "map:out"},
+//!          "Destination": {"AccessPoint": "reduce:in"}}
+//!     ]
+//! }"#).unwrap();
+//!
+//! let job = cluster.submit(&desc, &SubmitOpts::default());
+//! let (ok, _at) = cluster
+//!     .run_until_job_done(job, SimTime::from_secs(300))
+//!     .expect("job finishes");
+//! assert!(ok);
+//! ```
+
+pub use fuxi_agent as agent;
+pub use fuxi_apsara as apsara;
+pub use fuxi_baseline as baseline;
+pub use fuxi_cluster as cluster;
+pub use fuxi_core as core;
+pub use fuxi_job as job;
+pub use fuxi_proto as proto;
+pub use fuxi_sim as sim;
+pub use fuxi_workloads as workloads;
