@@ -756,7 +756,7 @@ impl Actor<Msg> for FuxiAgent {
                     );
                 }
                 self.beats += 1;
-                if self.beats % ENVELOPE_REFRESH_BEATS == 0 {
+                if self.beats.is_multiple_of(ENVELOPE_REFRESH_BEATS) {
                     // Periodic envelope repair: the master answers with an
                     // authoritative AgentCapacitySnapshot.
                     self.send_allocation_report(ctx);

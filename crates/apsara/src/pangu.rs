@@ -103,9 +103,8 @@ impl PanguFs {
         while replicas.len() < replication {
             // Remaining: random machines in other racks.
             let m = MachineId(self.rng.gen_range(0..n));
-            if !replicas.contains(&m) && topo.rack_of(m) != topo.rack_of(primary) {
-                replicas.push(m);
-            } else if topo.n_racks() == 1 && !replicas.contains(&m) {
+            let off_rack = topo.rack_of(m) != topo.rack_of(primary) || topo.n_racks() == 1;
+            if off_rack && !replicas.contains(&m) {
                 replicas.push(m);
             }
         }

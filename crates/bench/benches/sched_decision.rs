@@ -2,49 +2,18 @@
 //! the Figure 9 micro-benchmark. "When {2CPU, 10GB} of resource frees up on
 //! machine A, we only need to make a decision on which application in
 //! machine A's waiting queue should get this resource."
+//!
+//! The `*_indexed` / `*_naive` pairs run the same workload with the
+//! hierarchical fit index on vs. `reference_mode` (flat scans, the
+//! pre-index behaviour) to measure the index's speedup directly.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use fuxi_bench::scenarios;
 use fuxi_core::quota::QuotaManager;
 use fuxi_core::scheduler::{Engine, EngineConfig};
 use fuxi_proto::request::{RequestDelta, ScheduleUnitDef};
 use fuxi_proto::topology::{MachineSpec, TopologyBuilder};
 use fuxi_proto::{AppId, MachineId, Priority, QuotaGroupId, ResourceVec, UnitId};
-
-/// A saturated 5,000-machine cluster with 1,000 apps: most demand granted,
-/// plenty queued — the paper's operating point. App 0 is the most urgent
-/// waiter with unbounded demand, so every freed container deterministically
-/// cycles back to it (a stable return → decide → grant loop to measure).
-fn saturated_engine() -> Engine {
-    let topo = TopologyBuilder::new()
-        .uniform(100, 50, MachineSpec {
-            resources: ResourceVec::cores_mb(24, 96 * 1024),
-            ..MachineSpec::default()
-        })
-        .build();
-    // Preemption off: the benchmark times the waiting-queue decision, and
-    // app 0's urgency would otherwise evict the whole cluster at setup.
-    let cfg = EngineConfig {
-        enable_priority_preemption: false,
-        enable_quota_preemption: false,
-        ..EngineConfig::default()
-    };
-    let mut e = Engine::new(topo, cfg, QuotaManager::new());
-    let unit = ResourceVec::new(500, 2048);
-    for a in 0..1000u32 {
-        let prio = if a == 0 { Priority(1) } else { Priority(1000) };
-        e.attach_app(
-            AppId(a),
-            QuotaGroupId(0),
-            vec![ScheduleUnitDef::new(UnitId(0), prio, unit.clone())],
-        );
-        // 480 wanted per app: 480k total vs 240k capacity → saturation.
-        // App 0 additionally wants (much) more than it can ever get.
-        let want = if a == 0 { 1_000_000 } else { 480 };
-        e.apply_deltas(AppId(a), &[RequestDelta::cluster(UnitId(0), want)]);
-    }
-    e.drain_events();
-    e
-}
 
 fn bench(c: &mut Criterion) {
     c.bench_function("fig9_free_up_decision_5000_machines", |b| {
@@ -53,8 +22,7 @@ fn bench(c: &mut Criterion) {
         // the most urgent waiter, so the freed container always comes back
         // to it on the same machine — a stable measurable cycle where every
         // iteration performs one real decision.
-        let mut e = saturated_engine();
-        // Seed the cycle: give app 0 a container everywhere it will cycle.
+        let mut e = scenarios::saturated_engine(100, 50, false);
         let mut i = 0u32;
         b.iter(|| {
             let m = MachineId(i % 5000);
@@ -67,7 +35,7 @@ fn bench(c: &mut Criterion) {
     });
 
     c.bench_function("fig9_request_delta_apply", |b| {
-        let mut e = saturated_engine();
+        let mut e = scenarios::saturated_engine(100, 50, false);
         let mut i = 0u32;
         b.iter(|| {
             let app = AppId(i % 1000);
@@ -78,6 +46,50 @@ fn bench(c: &mut Criterion) {
             e.drain_events();
         });
     });
+
+    // Fragmented saturation: every machine keeps 8 stranded CPU cores free
+    // (memory exhausted), so all 5,000 machines are nonempty but the unit
+    // fits nowhere. A demand bump forces a full cluster-level placement
+    // attempt: the naive scan walks its whole `max_cluster_scan` budget;
+    // the fit index rejects at the cluster root.
+    for (name, reference) in [
+        ("fig9_fragmented_delta_5000_machines_indexed", false),
+        ("fig9_fragmented_delta_5000_machines_naive", true),
+    ] {
+        c.bench_function(name, |b| {
+            let mut e = scenarios::fragmented_engine(100, 50, reference);
+            let mut i = 0u32;
+            b.iter(|| {
+                let app = AppId(1 + i % 999);
+                i += 1;
+                e.apply_deltas(app, &[RequestDelta::cluster(UnitId(0), 1)]);
+                e.apply_deltas(app, &[RequestDelta::cluster(UnitId(0), -1)]);
+                e.drain_events();
+            });
+        });
+    }
+
+    // Free-up on the fragmented cluster: one container returns, making that
+    // machine schedulable among 5,000 nonempty ones. The 2503 stride is
+    // coprime with 5000, so frees land all over the cluster relative to the
+    // rotating cursor (as in production) rather than right at it. The index
+    // prunes whole racks of stranded-CPU machines; the naive scan pays a
+    // per-machine fit check for each.
+    for (name, reference) in [
+        ("fig9_fragmented_free_up_indexed", false),
+        ("fig9_fragmented_free_up_naive", true),
+    ] {
+        c.bench_function(name, |b| {
+            let mut e = scenarios::fragmented_engine(100, 50, reference);
+            let mut i = 0u64;
+            b.iter(|| {
+                let m = MachineId(((i * 2503) % 5000) as u32);
+                i += 1;
+                e.return_grant(AppId(0), UnitId(0), m, 1);
+                std::hint::black_box(e.drain_events());
+            });
+        });
+    }
 
     c.bench_function("grant_fixed_master_placement", |b| {
         // Master placement on a busy-but-not-full cluster (the realistic

@@ -1,0 +1,118 @@
+//! Writes `BENCH_sched.json`: machine-readable medians (ns/decision) for the
+//! scheduler hot-path benches at 1,000 and 5,000 machines, with the
+//! hierarchical fit index on (`*_indexed`) and off (`*_naive`,
+//! `reference_mode`) so the speedup ratio is measured in one binary on one
+//! machine, not stitched from two checkouts.
+//!
+//! Usage: `cargo run --release -p fuxi-bench --bin bench_snapshot [out.json]`
+//! Set `CRITERION_QUICK=1` for a fast low-confidence pass.
+
+use criterion::{black_box, Criterion};
+use fuxi_bench::scenarios;
+use fuxi_core::scheduler::{LocalityTree, QueueKey};
+use fuxi_proto::request::RequestDelta;
+use fuxi_proto::{AppId, MachineId, Priority, RackId, ResourceVec, UnitId};
+
+/// One scale's decision benches: free-up (return → decide → grant) and
+/// request-delta (±1 demand, forcing a cluster-level placement attempt),
+/// each with the fit index on and off.
+fn run_scale(c: &mut Criterion, label: &str, n_racks: usize, per_rack: usize) {
+    let n_machines = (n_racks * per_rack) as u64;
+    for (mode, reference) in [("indexed", false), ("naive", true)] {
+        c.bench_function(&format!("sched_free_up_{label}_{mode}"), |b| {
+            let mut e = scenarios::fragmented_engine(n_racks, per_rack, reference);
+            // Stride coprime with the machine count: frees land all over
+            // the cluster relative to the rotating cursor.
+            let stride = n_machines / 2 + 3;
+            let mut i = 0u64;
+            b.iter(|| {
+                let m = MachineId(((i * stride) % n_machines) as u32);
+                i += 1;
+                e.return_grant(AppId(0), UnitId(0), m, 1);
+                black_box(e.drain_events());
+            });
+        });
+        c.bench_function(&format!("sched_delta_{label}_{mode}"), |b| {
+            let mut e = scenarios::fragmented_engine(n_racks, per_rack, reference);
+            let mut i = 0u32;
+            b.iter(|| {
+                let app = AppId(1 + i % 999);
+                i += 1;
+                e.apply_deltas(app, &[RequestDelta::cluster(UnitId(0), 1)]);
+                e.apply_deltas(app, &[RequestDelta::cluster(UnitId(0), -1)]);
+                e.drain_events();
+            });
+        });
+    }
+}
+
+/// The locality-tree waiting-queue consult (same shape as the
+/// `locality_tree` criterion bench's 10k-waiting case).
+fn run_tree(c: &mut Criterion) {
+    let fp = ResourceVec::new(500, 2048);
+    let mut t = LocalityTree::new();
+    for i in 0..10_000u64 {
+        let k = QueueKey {
+            priority: Priority((i % 7) as u16 * 100),
+            seq: i,
+            app: AppId(i as u32),
+            unit: UnitId(0),
+        };
+        t.enqueue_cluster(k, &fp);
+        t.enqueue_machine(MachineId((i % 1000) as u32), k, &fp);
+        t.enqueue_rack(RackId((i % 20) as u32), k, &fp);
+    }
+    let free = ResourceVec::cores_mb(12, 96 * 1024);
+    c.bench_function("tree_candidates_10k_waiting", |b| {
+        b.iter(|| black_box(t.candidates_for_machine(MachineId(5), RackId(5), black_box(&free), 64)));
+    });
+}
+
+fn main() {
+    fuxi_bench::warn_if_debug();
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sched.json".to_owned());
+    let quick = std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false);
+
+    let mut c = Criterion::default();
+    run_scale(&mut c, "1k_machines", 20, 50);
+    run_scale(&mut c, "5k_machines", 100, 50);
+    run_tree(&mut c);
+
+    // Hand-rolled JSON: names are static identifiers, nothing to escape.
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"generated_by\": \"bench_snapshot\",\n");
+    json.push_str(&format!("  \"quick_mode\": {quick},\n"));
+    json.push_str("  \"unit\": \"ns_per_decision\",\n");
+    json.push_str("  \"benches\": [\n");
+    for (i, s) in c.collected.iter().enumerate() {
+        let sep = if i + 1 == c.collected.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+             \"p95_ns\": {:.1}, \"iterations\": {}}}{sep}\n",
+            s.name, s.median_ns, s.mean_ns, s.p95_ns, s.iterations
+        ));
+    }
+    json.push_str("  ],\n");
+    json.push_str("  \"naive_over_indexed\": {\n");
+    let pairs: Vec<(String, f64)> = c
+        .collected
+        .iter()
+        .filter_map(|s| {
+            let base = s.name.strip_suffix("_indexed")?;
+            let naive = c.collected.iter().find(|n| n.name == format!("{base}_naive"))?;
+            Some((base.to_owned(), naive.median_ns / s.median_ns))
+        })
+        .collect();
+    for (i, (base, ratio)) in pairs.iter().enumerate() {
+        let sep = if i + 1 == pairs.len() { "" } else { "," };
+        json.push_str(&format!("    \"{base}\": {ratio:.2}{sep}\n"));
+    }
+    json.push_str("  }\n}\n");
+
+    std::fs::write(&out_path, &json).expect("write snapshot");
+    println!("\nwrote {out_path}");
+    for (base, ratio) in &pairs {
+        println!("  {base}: naive/indexed = {ratio:.2}x");
+    }
+}

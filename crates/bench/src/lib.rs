@@ -132,6 +132,75 @@ pub fn row(label: &str, paper: &str, measured: &str) -> Vec<String> {
     vec![label.to_owned(), paper.to_owned(), measured.to_owned()]
 }
 
+/// Shared engine setups for the Figure 9 scheduling micro-benchmarks, used
+/// by both the criterion benches and the `bench_snapshot` baseline binary.
+pub mod scenarios {
+    use fuxi_core::quota::QuotaManager;
+    use fuxi_core::scheduler::{Engine, EngineConfig};
+    use fuxi_proto::request::{RequestDelta, ScheduleUnitDef};
+    use fuxi_proto::topology::{MachineSpec, TopologyBuilder};
+    use fuxi_proto::{AppId, Priority, QuotaGroupId, ResourceVec, UnitId};
+
+    /// The benchmark schedule unit: {0.5 CPU, 2 GB} — the paper's
+    /// "{2CPU, 10GB} frees up" example scaled to pack 48 per machine.
+    pub fn sched_unit() -> ResourceVec {
+        ResourceVec::new(500, 2048)
+    }
+
+    fn build(n_racks: usize, per_rack: usize, cores: u64, reference: bool) -> Engine {
+        let topo = TopologyBuilder::new()
+            .uniform(n_racks, per_rack, MachineSpec {
+                resources: ResourceVec::cores_mb(cores, 96 * 1024),
+                ..MachineSpec::default()
+            })
+            .build();
+        // Preemption off: these benches time the waiting-queue decision, and
+        // app 0's urgency would otherwise evict the whole cluster at setup.
+        let cfg = EngineConfig {
+            enable_priority_preemption: false,
+            enable_quota_preemption: false,
+            reference_mode: reference,
+            ..EngineConfig::default()
+        };
+        let mut e = Engine::new(topo, cfg, QuotaManager::new());
+        let unit = sched_unit();
+        let machines = (n_racks * per_rack) as u64;
+        // Demand = 2× the 48-units-per-machine capacity, spread over 1,000
+        // apps; app 0 is the most urgent waiter with unbounded demand.
+        let per_app = (machines * 48 * 2 / 1000).max(1);
+        for a in 0..1000u32 {
+            let prio = if a == 0 { Priority(1) } else { Priority(1000) };
+            e.attach_app(
+                AppId(a),
+                QuotaGroupId(0),
+                vec![ScheduleUnitDef::new(UnitId(0), prio, unit.clone())],
+            );
+            let want = if a == 0 { 1_000_000 } else { per_app as i64 };
+            e.apply_deltas(AppId(a), &[RequestDelta::cluster(UnitId(0), want)]);
+        }
+        e.drain_events();
+        e
+    }
+
+    /// Exactly-full cluster: 24-core/96 GB machines where 48 × {0.5 CPU,
+    /// 2 GB} units exhaust CPU and memory simultaneously. Every machine ends
+    /// with zero free in both dimensions; the hot path is the return →
+    /// decide → grant cycle.
+    pub fn saturated_engine(n_racks: usize, per_rack: usize, reference: bool) -> Engine {
+        build(n_racks, per_rack, 24, reference)
+    }
+
+    /// Fragmented saturation: 32-core/96 GB machines where memory exhausts
+    /// after 48 units, stranding 8 CPU cores free on every machine. All
+    /// machines stay nonempty but the unit never fits anywhere — the
+    /// worst case for a naive free-machine scan (it walks its full
+    /// `max_cluster_scan` budget and finds nothing) and the best case for
+    /// the hierarchical fit index (one root rejection).
+    pub fn fragmented_engine(n_racks: usize, per_rack: usize, reference: bool) -> Engine {
+        build(n_racks, per_rack, 32, reference)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -238,7 +238,7 @@ impl FuxiMaster {
             self.am_addr.iter().map(|(&a, &x)| (a, x)).collect();
         for (app, am) in ams {
             let snapshot = self.grant_snapshot(app);
-            self.grant_tx.entry(app).or_insert_with(SeqSender::new).reset();
+            self.grant_tx.entry(app).or_default().reset();
             ctx.send(am, Msg::FullGrantSync { snapshot });
         }
         ctx.metrics().count("fm.rebuild_done", 1);
@@ -437,7 +437,7 @@ impl FuxiMaster {
         }
         for (app, grants) in per_am {
             if let Some(&am) = self.am_addr.get(&app) {
-                let seq = self.grant_tx.entry(app).or_insert_with(SeqSender::new).next();
+                let seq = self.grant_tx.entry(app).or_default().next();
                 ctx.send(am, Msg::GrantUpdate { seq, grants });
                 ctx.metrics().count("fm.grant_updates", 1);
             }
@@ -648,7 +648,7 @@ impl FuxiMaster {
         // wrongly tear down every worker. Deferred to finish_rebuild.
         if self.role != Role::Rebuilding {
             let snapshot = self.grant_snapshot(app);
-            self.grant_tx.entry(app).or_insert_with(SeqSender::new).reset();
+            self.grant_tx.entry(app).or_default().reset();
             ctx.send(from, Msg::FullGrantSync { snapshot });
         }
         if self.is_active() {
@@ -681,11 +681,10 @@ impl Actor<Msg> for FuxiMaster {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
         match msg {
-            Msg::LockGranted { .. } => {
-                if self.role == Role::Standby {
+            Msg::LockGranted { .. }
+                if self.role == Role::Standby => {
                     self.become_primary(ctx);
                 }
-            }
             Msg::LockLost { .. } => {
                 // A primary that lost its lease must stop acting: another
                 // master owns the cluster now.
@@ -853,7 +852,7 @@ impl Actor<Msg> for FuxiMaster {
             } => self.on_full_request_sync(ctx, from, app, units, states),
             Msg::GrantSyncNeeded { app } => {
                 let snapshot = self.grant_snapshot(app);
-                self.grant_tx.entry(app).or_insert_with(SeqSender::new).reset();
+                self.grant_tx.entry(app).or_default().reset();
                 ctx.send(from, Msg::FullGrantSync { snapshot });
             }
             Msg::AmDetach { app } => {
@@ -900,18 +899,16 @@ impl Actor<Msg> for FuxiMaster {
                 }
                 ctx.timer(self.cfg.keepalive_interval, TIMER_KEEPALIVE);
             }
-            TIMER_BATCH => {
-                if self.role != Role::Standby {
+            TIMER_BATCH
+                if self.role != Role::Standby => {
                     self.flush_batches(ctx);
                     ctx.timer(self.cfg.batch_interval, TIMER_BATCH);
                 }
-            }
-            TIMER_ROLLUP => {
-                if self.role != Role::Standby {
+            TIMER_ROLLUP
+                if self.role != Role::Standby => {
                     self.rollup(ctx);
                     ctx.timer(self.cfg.rollup_interval, TIMER_ROLLUP);
                 }
-            }
             TIMER_REBUILD_DONE => self.finish_rebuild(ctx),
             _ => {}
         }

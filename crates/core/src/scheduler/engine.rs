@@ -36,6 +36,12 @@ pub struct EngineConfig {
     pub enable_quota_preemption: bool,
     /// Upper bound on containers revoked per preemption attempt.
     pub max_preemptions_per_attempt: u64,
+    /// Naive reference mode for differential testing and benchmarking: the
+    /// free pool's hierarchical fit index is bypassed (every rack is
+    /// descended) and machine-down handling re-derives victims by scanning
+    /// all apps instead of the reverse allocation index. Decisions must be
+    /// bit-identical to the indexed engine; only the cost differs.
+    pub reference_mode: bool,
 }
 
 impl Default for EngineConfig {
@@ -46,6 +52,7 @@ impl Default for EngineConfig {
             enable_priority_preemption: true,
             enable_quota_preemption: true,
             max_preemptions_per_attempt: 64,
+            reference_mode: false,
         }
     }
 }
@@ -151,6 +158,11 @@ pub struct Engine {
     planned: ResourceVec,
     /// Containers granted per priority, for cheap preemption pre-checks.
     pub(crate) granted_by_priority: BTreeMap<Priority, u64>,
+    /// Reverse allocation index: per machine, every `(app, unit)` holding
+    /// grants there and how many. Mirrors the per-unit `granted` maps so
+    /// machine-down / blacklist / capacity events touch only the affected
+    /// machine's allocations instead of scanning all apps × units.
+    alloc_index: Vec<BTreeMap<(AppId, UnitId), u64>>,
 }
 
 impl Engine {
@@ -160,8 +172,13 @@ impl Engine {
             .machines()
             .map(|m| topo.spec(m).resources.clone())
             .collect();
+        let rack_of: Vec<RackId> = topo.machines().map(|m| topo.rack_of(m)).collect();
+        let n_machines = caps.len();
+        let mut free = FreePool::with_racks(caps, rack_of);
+        free.set_pruning(!cfg.reference_mode);
         Self {
-            free: FreePool::new(caps),
+            free,
+            alloc_index: vec![BTreeMap::new(); n_machines],
             tree: LocalityTree::new(),
             quotas,
             apps: BTreeMap::new(),
@@ -279,6 +296,7 @@ impl Engine {
         for (unit_id, mut unit) in entry.units {
             self.unqueue_all(app, unit_id, &mut unit);
             for (&m, &count) in &unit.granted {
+                self.alloc_index[m.0 as usize].remove(&(app, unit_id));
                 self.free.give(m, &unit.def.resource, count);
                 self.quotas.sub_usage(entry.group, &unit.def.resource, count);
                 self.planned.sub_scaled(&unit.def.resource, count);
@@ -412,6 +430,7 @@ impl Engine {
         u.total_granted -= count;
         let res = u.def.resource.clone();
         let prio = u.def.priority;
+        self.rindex_sub(m, app, unit, count);
         self.free.give(m, &res, count);
         self.quotas.sub_usage(group, &res, count);
         self.planned.sub_scaled(&res, count);
@@ -433,14 +452,23 @@ impl Engine {
         // Zero capacity; whatever was granted there is accounted below.
         let in_use = self.free.capacity(m).clone();
         self.free.set_capacity(m, ResourceVec::ZERO, &in_use);
-        let mut revokes: Vec<(AppId, UnitId)> = Vec::new();
-        for (&app, entry) in self.apps.iter() {
-            for (&unit_id, u) in entry.units.iter() {
-                if u.granted.contains_key(&m) {
-                    revokes.push((app, unit_id));
-                }
-            }
-        }
+        // The reverse index names the victims directly; the all-apps scan is
+        // kept as the differential reference (same (app, unit) order: both
+        // iterate sorted by app then unit).
+        let revokes: Vec<(AppId, UnitId)> = if self.cfg.reference_mode {
+            self.apps
+                .iter()
+                .flat_map(|(&app, entry)| {
+                    entry
+                        .units
+                        .iter()
+                        .filter(|(_, u)| u.granted.contains_key(&m))
+                        .map(move |(&unit_id, _)| (app, unit_id))
+                })
+                .collect()
+        } else {
+            self.alloc_index[m.0 as usize].keys().copied().collect()
+        };
         for (app, unit_id) in revokes {
             let group = self.apps[&app].group;
             let u = self
@@ -455,6 +483,7 @@ impl Engine {
             u.wants.revoked(count);
             let res = u.def.resource.clone();
             let prio = u.def.priority;
+            self.alloc_index[m.0 as usize].remove(&(app, unit_id));
             self.quotas.sub_usage(group, &res, count);
             self.planned.sub_scaled(&res, count);
             if let Some(c) = self.granted_by_priority.get_mut(&prio) {
@@ -523,6 +552,7 @@ impl Engine {
         *u.granted.entry(m).or_insert(0) += count;
         u.total_granted += count;
         let prio = u.def.priority;
+        self.rindex_add(m, app, unit, count);
         self.free.take(m, &unit_res, count.min(self.free.fits(m, &unit_res)));
         self.quotas.add_usage(group, &unit_res, count);
         self.planned.add_scaled(&unit_res, count);
@@ -544,10 +574,7 @@ impl Engine {
         if self.paused {
             return None;
         }
-        let candidate = self
-            .free
-            .scan_from_cursor()
-            .find(|m| !avoid.contains(m) && self.free.fits(*m, &resource) >= 1)?;
+        let candidate = self.free.first_fitting(&resource, avoid)?;
         let seq = self.bump_seq();
         let group = self.apps.get(&app).map(|e| e.group).unwrap_or(QuotaGroupId(0));
         let entry = self.apps.entry(app).or_insert(AppEntry {
@@ -562,6 +589,7 @@ impl Engine {
         });
         *u.granted.entry(candidate).or_insert(0) += 1;
         u.total_granted += 1;
+        self.rindex_add(candidate, app, MASTER_UNIT, 1);
         self.free.take(candidate, &resource, 1);
         self.free.advance_cursor(candidate);
         self.quotas.add_usage(group, &resource, 1);
@@ -588,6 +616,26 @@ impl Engine {
         self.next_seq
     }
 
+    /// Records `count` more containers of `(app, unit)` on `m` in the
+    /// reverse allocation index.
+    fn rindex_add(&mut self, m: MachineId, app: AppId, unit: UnitId, count: u64) {
+        if count > 0 {
+            *self.alloc_index[m.0 as usize].entry((app, unit)).or_insert(0) += count;
+        }
+    }
+
+    /// Removes `count` containers of `(app, unit)` on `m` from the reverse
+    /// allocation index, dropping the entry at zero.
+    fn rindex_sub(&mut self, m: MachineId, app: AppId, unit: UnitId, count: u64) {
+        let slot = &mut self.alloc_index[m.0 as usize];
+        if let Some(c) = slot.get_mut(&(app, unit)) {
+            *c = c.saturating_sub(count);
+            if *c == 0 {
+                slot.remove(&(app, unit));
+            }
+        }
+    }
+
     /// Grants `count × unit` on `m` and performs all bookkeeping.
     fn grant_at(&mut self, app: AppId, unit_id: UnitId, m: MachineId, count: u64) {
         let entry = self.apps.get_mut(&app).expect("app exists");
@@ -599,6 +647,7 @@ impl Engine {
         *u.granted.entry(m).or_insert(0) += count;
         u.total_granted += count;
         u.wants.satisfied_on(&self.topo, m, count);
+        self.rindex_add(m, app, unit_id, count);
         self.quotas.add_usage(group, &res, count);
         self.planned.add_scaled(&res, count);
         *self.granted_by_priority.entry(prio).or_insert(0) += count;
@@ -641,6 +690,7 @@ impl Engine {
         u.wants.revoked(count);
         let res = u.def.resource.clone();
         let prio = u.def.priority;
+        self.rindex_sub(m, app, unit_id, count);
         self.free.give(m, &res, count);
         self.quotas.sub_usage(group, &res, count);
         self.planned.sub_scaled(&res, count);
@@ -665,7 +715,7 @@ impl Engine {
         // Binary search the largest admissible count below `want`.
         let (mut lo, mut hi) = (0u64, want);
         while lo < hi {
-            let mid = (lo + hi + 1) / 2;
+            let mid = (lo + hi).div_ceil(2);
             if self.quotas.within_max(group, unit_res, mid) {
                 lo = mid;
             } else {
@@ -717,6 +767,11 @@ impl Engine {
                 .racks()
                 .collect();
             for (r, _) in rack_hints {
+                // Rack-level aggregate check: skip racks where no machine
+                // can hold even one unit (no-op in reference mode).
+                if !self.free.rack_can_fit(r, &unit_res) {
+                    continue;
+                }
                 let machines: Vec<MachineId> = self.topo.machines_in_rack(r).to_vec();
                 for m in machines {
                     let want_r = self.apps[&app].units[&unit_id].wants.at_rack(r);
@@ -741,26 +796,33 @@ impl Engine {
             // load-balance consideration: "instances are scheduled to
             // available workers uniformly"); a second pass greedily places
             // any remainder so capacity is never left stranded.
+            //
+            // The fit index answers the saturated-cluster case at the root
+            // in O(1) (no candidates, no scan) and skips racks where the
+            // unit cannot fit; pruned racks still charge the scan budget so
+            // rotation and truncation match the naive scan machine-for-
+            // machine. Free space does not change while candidates are
+            // collected — grants apply after both passes.
             let mut grants: BTreeMap<MachineId, u64> = BTreeMap::new();
             let mut last_granted: Option<MachineId> = None;
-            {
-                let u = &self.apps[&app].units[&unit_id];
-                let mut remaining = u.wants.cluster();
-                remaining = remaining.min(self.quota_headroom(group, &unit_res, remaining));
+            let mut remaining = self.apps[&app].units[&unit_id].wants.cluster();
+            remaining = remaining.min(self.quota_headroom(group, &unit_res, remaining));
+            if remaining > 0 {
                 let nonempty = self.free.nonempty_count().max(1) as u64;
                 let per_machine_cap = remaining.div_ceil(nonempty).max(1);
+                let mut candidates: Vec<MachineId> = Vec::new();
+                self.free
+                    .scan_fitting(&unit_res, self.cfg.max_cluster_scan, &mut candidates);
                 for pass in 0..2 {
                     if remaining == 0 {
                         break;
                     }
                     let cap = if pass == 0 { per_machine_cap } else { u64::MAX };
-                    let mut scanned = 0usize;
-                    for m in self.free.scan_from_cursor() {
-                        if remaining == 0 || scanned >= self.cfg.max_cluster_scan {
+                    for &m in &candidates {
+                        if remaining == 0 {
                             break;
                         }
-                        scanned += 1;
-                        if u.avoid.contains(&m) {
+                        if avoid.contains(&m) {
                             continue;
                         }
                         let already = grants.get(&m).copied().unwrap_or(0);
@@ -957,19 +1019,56 @@ impl Engine {
 
     /// Current allocations on one machine, as `(app, unit, unit_resource,
     /// count)` rows — what a restarted agent needs to rebuild enforcement
-    /// state. O(apps × units); called only on agent failover.
+    /// state. Answered from the reverse allocation index in O(allocations
+    /// on `m`); in reference mode the original O(apps × units) scan runs.
     pub fn allocations_on(&self, m: MachineId) -> Vec<(AppId, UnitId, ResourceVec, u64)> {
-        let mut out = Vec::new();
+        if self.cfg.reference_mode {
+            let mut out = Vec::new();
+            for (&app, entry) in &self.apps {
+                for (&uid, u) in &entry.units {
+                    if let Some(&c) = u.granted.get(&m) {
+                        if c > 0 {
+                            out.push((app, uid, u.def.resource.clone(), c));
+                        }
+                    }
+                }
+            }
+            return out;
+        }
+        self.alloc_index[m.0 as usize]
+            .iter()
+            .filter(|&(_, &c)| c > 0)
+            .filter_map(|(&(app, uid), &c)| {
+                let res = self.apps.get(&app)?.units.get(&uid)?.def.resource.clone();
+                Some((app, uid, res, c))
+            })
+            .collect()
+    }
+
+    /// Test-support: rebuilds the reverse allocation index from the per-unit
+    /// grant maps and asserts both views agree, then checks the free pool's
+    /// fit-index invariants.
+    #[doc(hidden)]
+    pub fn assert_index_consistent(&self) {
+        let mut rebuilt: BTreeMap<(u32, AppId, UnitId), u64> = BTreeMap::new();
         for (&app, entry) in &self.apps {
             for (&uid, u) in &entry.units {
-                if let Some(&c) = u.granted.get(&m) {
+                for (&m, &c) in &u.granted {
                     if c > 0 {
-                        out.push((app, uid, u.def.resource.clone(), c));
+                        rebuilt.insert((m.0, app, uid), c);
                     }
                 }
             }
         }
-        out
+        let mut indexed: BTreeMap<(u32, AppId, UnitId), u64> = BTreeMap::new();
+        for (mi, slot) in self.alloc_index.iter().enumerate() {
+            for (&(app, uid), &c) in slot {
+                assert!(c > 0, "reverse index retains zero-count entry");
+                indexed.insert((mi as u32, app, uid), c);
+            }
+        }
+        assert_eq!(rebuilt, indexed, "reverse allocation index out of sync");
+        self.free.assert_index_consistent();
     }
 
     /// Resource size of one container of `(app, unit)`, if known.

@@ -1,9 +1,76 @@
 //! The available-resource pool: per-machine free vectors plus the rotating
 //! cursor used for load-balanced cluster-level scans ("load balance will
 //! also be considered", Section 3.3).
+//!
+//! # Hierarchical fit index
+//!
+//! Cluster-level scans used to walk every machine with *any* free resource,
+//! which is Θ(cluster) precisely when the cluster is saturated and nothing
+//! fits — the worst possible place to spend time. The pool now keeps a
+//! two-level aggregate mirroring the locality tree:
+//!
+//! * per rack: the component-wise **max** of member free vectors, and
+//! * at the root: the component-wise max over rack aggregates.
+//!
+//! The max is a sound upper bound: if one unit does not fit in a rack's
+//! aggregate, it fits on no machine in that rack, so the whole rack (or the
+//! whole cluster) can be skipped in O(dimensions). False positives merely
+//! cost a descent; they never change which machines are granted.
+//!
+//! Maintenance is incremental. `give` only widens the bound (component-wise
+//! max with the new free vector, O(dimensions)). `take` and `set_capacity`
+//! can shrink a member, so they mark the rack (and root) *dirty*; the exact
+//! bound is recomputed lazily the next time a scan consults that rack,
+//! touching only its nonempty members. A saturated cluster therefore
+//! converges to O(1) rejections at the root instead of Θ(cluster) scans.
+//!
+//! Scan-budget parity: pruned racks still charge their nonempty-machine
+//! count against the caller's scan budget, so rotation fairness and
+//! truncation points are identical to the naive scan — the index changes
+//! *cost*, never *outcome*. `set_pruning(false)` disables the index checks
+//! (same iteration order, no skipping) and is used by the differential
+//! reference engine in tests and benchmarks.
 
-use fuxi_proto::{MachineId, ResourceVec};
+use fuxi_proto::{MachineId, RackId, ResourceVec};
 use std::collections::BTreeSet;
+
+/// Per-rack slice of the fit index.
+#[derive(Debug, Default)]
+struct RackAgg {
+    /// Machines in this rack (fixed at construction, ascending ids).
+    members: Vec<MachineId>,
+    /// Members with any free resource at all.
+    nonempty: BTreeSet<MachineId>,
+    /// Component-wise upper bound on member free vectors (exact when clean).
+    max_free: ResourceVec,
+    /// Set when a member's free vector shrank; bound may overestimate.
+    dirty: bool,
+}
+
+impl RackAgg {
+    /// Recomputes the exact bound from nonempty members and clears `dirty`.
+    fn recompute(&mut self, free: &[ResourceVec]) {
+        let mut mx = ResourceVec::ZERO;
+        for &m in &self.nonempty {
+            mx.max_with(&free[m.0 as usize]);
+        }
+        self.max_free = mx;
+        self.dirty = false;
+    }
+
+    /// Sound fit test against this rack, lazily recomputing a dirty bound.
+    fn can_fit(&mut self, free: &[ResourceVec], unit: &ResourceVec) -> bool {
+        if !unit.fits_in(&self.max_free) {
+            // Dirty bounds only ever overestimate, so a failed fit is final.
+            return false;
+        }
+        if !self.dirty {
+            return true;
+        }
+        self.recompute(free);
+        unit.fits_in(&self.max_free)
+    }
+}
 
 /// Per-machine free resources. Machines with zero schedulable capacity
 /// (down, blacklisted) simply have empty capacity here.
@@ -11,27 +78,64 @@ use std::collections::BTreeSet;
 pub struct FreePool {
     capacity: Vec<ResourceVec>,
     free: Vec<ResourceVec>,
-    /// Machines with any free resource at all, for cluster-level scans.
-    nonempty: BTreeSet<MachineId>,
+    /// Machine index → rack index (dense, fixed at construction).
+    rack_of: Vec<u32>,
+    racks: Vec<RackAgg>,
+    /// Root of the fit index: component-wise max over rack bounds.
+    cluster_max: ResourceVec,
+    cluster_dirty: bool,
+    /// Machines with any free resource, across all racks.
+    nonempty_total: usize,
     /// Rotating scan start so repeated cluster-level grants spread load.
     cursor: u32,
+    /// When false, aggregate checks are skipped (naive reference mode).
+    pruning: bool,
 }
 
 impl FreePool {
-    /// Creates a new instance with the given configuration.
+    /// Creates a pool with every machine in one rack (tests, small setups).
     pub fn new(capacities: Vec<ResourceVec>) -> Self {
-        let mut pool = Self {
-            free: capacities.clone(),
-            capacity: capacities,
-            nonempty: BTreeSet::new(),
-            cursor: 0,
-        };
-        for (i, f) in pool.free.iter().enumerate() {
-            if !f.is_zero() {
-                pool.nonempty.insert(MachineId(i as u32));
+        let n = capacities.len();
+        Self::with_racks(capacities, vec![RackId(0); n])
+    }
+
+    /// Creates a pool with the given machine → rack assignment; the fit
+    /// index aggregates per rack.
+    pub fn with_racks(capacities: Vec<ResourceVec>, rack_of: Vec<RackId>) -> Self {
+        assert_eq!(capacities.len(), rack_of.len());
+        let n_racks = rack_of.iter().map(|r| r.0 as usize + 1).max().unwrap_or(1);
+        let mut racks: Vec<RackAgg> = (0..n_racks).map(|_| RackAgg::default()).collect();
+        let mut cluster_max = ResourceVec::ZERO;
+        let mut nonempty_total = 0;
+        for (i, cap) in capacities.iter().enumerate() {
+            let m = MachineId(i as u32);
+            let rack = &mut racks[rack_of[i].0 as usize];
+            rack.members.push(m);
+            if !cap.is_zero() {
+                rack.nonempty.insert(m);
+                rack.max_free.max_with(cap);
+                cluster_max.max_with(cap);
+                nonempty_total += 1;
             }
         }
-        pool
+        Self {
+            free: capacities.clone(),
+            capacity: capacities,
+            rack_of: rack_of.into_iter().map(|r| r.0).collect(),
+            racks,
+            cluster_max,
+            cluster_dirty: false,
+            nonempty_total,
+            cursor: 0,
+            pruning: true,
+        }
+    }
+
+    /// Enables or disables the fit-index pruning. With pruning off the pool
+    /// visits machines in exactly the same rotation order but never skips a
+    /// rack — the naive reference behaviour used by differential tests.
+    pub fn set_pruning(&mut self, enabled: bool) {
+        self.pruning = enabled;
     }
 
     /// N machines.
@@ -65,32 +169,32 @@ impl FreePool {
         debug_assert!(self.fits(m, unit) >= count, "free-pool underflow on {m}");
         let f = &mut self.free[m.0 as usize];
         f.sub_scaled(unit, count);
-        if f.is_zero() {
-            self.nonempty.remove(&m);
+        let rack = &mut self.racks[self.rack_of[m.0 as usize] as usize];
+        if f.is_zero() && rack.nonempty.remove(&m) {
+            self.nonempty_total -= 1;
         }
+        // The member shrank: bounds may now overestimate. Defer the exact
+        // recompute to the next scan that actually consults this rack.
+        rack.dirty = true;
+        self.cluster_dirty = true;
     }
 
     /// Returns `unit × count` to `m` (clamped to capacity).
     pub fn give(&mut self, m: MachineId, unit: &ResourceVec, count: u64) {
         let f = &mut self.free[m.0 as usize];
         f.add_scaled(unit, count);
-        let cap = &self.capacity[m.0 as usize];
-        if !f.fits_in(cap) {
-            // Capacity may have shrunk (node flap); clamp dimension-wise.
-            let mut clamped = cap.clone();
-            if f.cpu_milli() < clamped.cpu_milli() {
-                clamped.set_cpu_milli(f.cpu_milli());
-            }
-            if f.memory_mb() < clamped.memory_mb() {
-                clamped.set_memory_mb(f.memory_mb());
-            }
-            for (id, amt) in cap.virtuals() {
-                clamped.set_virtual(id, amt.min(f.virtual_amount(id)));
-            }
-            *f = clamped;
-        }
+        // Capacity may have shrunk since the grant (node flap): free space
+        // must never exceed what the machine can actually schedule.
+        f.clamp_to(&self.capacity[m.0 as usize]);
+        let rack = &mut self.racks[self.rack_of[m.0 as usize] as usize];
         if !f.is_zero() {
-            self.nonempty.insert(m);
+            if rack.nonempty.insert(m) {
+                self.nonempty_total += 1;
+            }
+            // Free only grew (free ≤ capacity is an invariant), so widening
+            // the bounds keeps them sound without any recompute.
+            rack.max_free.max_with(f);
+            self.cluster_max.max_with(f);
         }
     }
 
@@ -101,22 +205,215 @@ impl FreePool {
         let mut free = new_capacity.clone();
         free.saturating_sub(in_use);
         self.capacity[m.0 as usize] = new_capacity;
-        self.free[m.0 as usize] = free;
-        if self.free[m.0 as usize].is_zero() {
-            self.nonempty.remove(&m);
+        let rack = &mut self.racks[self.rack_of[m.0 as usize] as usize];
+        if free.is_zero() {
+            if rack.nonempty.remove(&m) {
+                self.nonempty_total -= 1;
+            }
         } else {
-            self.nonempty.insert(m);
+            if rack.nonempty.insert(m) {
+                self.nonempty_total += 1;
+            }
+            rack.max_free.max_with(&free);
+            self.cluster_max.max_with(&free);
+        }
+        // Capacity can move in either direction; treat it like a shrink.
+        rack.dirty = true;
+        self.cluster_dirty = true;
+        self.free[m.0 as usize] = free;
+    }
+
+    /// Sound cluster-wide fit test via the index root: `false` means no
+    /// machine anywhere can hold one `unit` — the O(1) rejection that
+    /// replaces a Θ(cluster) scan on a saturated cluster.
+    pub fn cluster_can_fit(&mut self, unit: &ResourceVec) -> bool {
+        if !self.pruning {
+            return true;
+        }
+        if unit.is_zero() {
+            return false;
+        }
+        if !unit.fits_in(&self.cluster_max) {
+            return false;
+        }
+        if !self.cluster_dirty {
+            return true;
+        }
+        let mut mx = ResourceVec::ZERO;
+        for rack in &mut self.racks {
+            if rack.dirty {
+                rack.recompute(&self.free);
+            }
+            mx.max_with(&rack.max_free);
+        }
+        self.cluster_max = mx;
+        self.cluster_dirty = false;
+        unit.fits_in(&self.cluster_max)
+    }
+
+    /// Sound per-rack fit test (used to gate rack-hint passes). `false`
+    /// means no machine in `r` can hold one `unit`.
+    pub fn rack_can_fit(&mut self, r: RackId, unit: &ResourceVec) -> bool {
+        if !self.pruning {
+            return true;
+        }
+        if unit.is_zero() {
+            return false;
+        }
+        match self.racks.get_mut(r.0 as usize) {
+            Some(rack) => rack.can_fit(&self.free, unit),
+            None => false,
         }
     }
 
-    /// Iterates machines with free resources, starting after the rotating
-    /// cursor and wrapping, visiting each at most once.
-    pub fn scan_from_cursor(&self) -> impl Iterator<Item = MachineId> + '_ {
-        let start = MachineId(self.cursor);
-        self.nonempty
-            .range(start..)
-            .chain(self.nonempty.range(..start))
+    /// Rack rotation order starting at the rack containing the cursor. The
+    /// first rack is split so its members before the cursor are visited
+    /// last, preserving the flat scan's machine-granularity rotation.
+    fn rotation(&self) -> (u32, usize) {
+        let n = self.capacity.len();
+        let start = if (self.cursor as usize) < n { self.cursor } else { 0 };
+        let start_rack = self
+            .rack_of
+            .get(start as usize)
             .copied()
+            .unwrap_or(0) as usize;
+        (start, start_rack)
+    }
+
+    /// Collects up to `max_scan` machines, in rotation order, on which at
+    /// least one `unit` fits right now. Racks whose aggregate cannot fit
+    /// `unit` are skipped wholesale but still charge their nonempty count
+    /// against `max_scan`, so truncation matches the naive scan exactly.
+    pub fn scan_fitting(&mut self, unit: &ResourceVec, max_scan: usize, out: &mut Vec<MachineId>) {
+        out.clear();
+        if max_scan == 0 || unit.is_zero() || self.capacity.is_empty() {
+            return;
+        }
+        if !self.cluster_can_fit(unit) {
+            return;
+        }
+        let (start, start_rack) = self.rotation();
+        let start_m = MachineId(start);
+        let n_racks = self.racks.len();
+        let mut scanned = 0usize;
+        // Segments: tail of the start rack, every other rack in order,
+        // then the head of the start rack.
+        for seg in 0..=n_racks {
+            if scanned >= max_scan {
+                break;
+            }
+            let (r, lo, hi) = if seg == 0 {
+                (start_rack, Some(start_m), None)
+            } else if seg == n_racks {
+                (start_rack, None, Some(start_m))
+            } else {
+                ((start_rack + seg) % n_racks, None, None)
+            };
+            if seg != 0 && seg != n_racks && r == start_rack {
+                continue; // single-rack pool: segments 0 and n_racks cover it
+            }
+            let pruning = self.pruning;
+            let rack = &mut self.racks[r];
+            let prune = pruning && !rack.can_fit(&self.free, unit);
+            let range = match (lo, hi) {
+                (Some(l), None) => rack.nonempty.range(l..),
+                (None, Some(h)) => rack.nonempty.range(..h),
+                _ => rack.nonempty.range(..),
+            };
+            if prune {
+                // Whole-rack counts are O(1); only the split start rack
+                // pays a walk, and only when it is both pruned and split.
+                scanned += match (lo, hi) {
+                    (None, None) => rack.nonempty.len(),
+                    _ => range.count(),
+                };
+                continue;
+            }
+            for &m in range {
+                if scanned >= max_scan {
+                    break;
+                }
+                scanned += 1;
+                if unit.fits_in(&self.free[m.0 as usize]) {
+                    out.push(m);
+                }
+            }
+        }
+    }
+
+    /// First machine in rotation order, not in `avoid`, where at least one
+    /// `unit` fits. Rack-pruned like [`scan_fitting`](Self::scan_fitting),
+    /// unbounded like the master-placement scan it serves.
+    pub fn first_fitting(
+        &mut self,
+        unit: &ResourceVec,
+        avoid: &BTreeSet<MachineId>,
+    ) -> Option<MachineId> {
+        if unit.is_zero() || self.capacity.is_empty() || !self.cluster_can_fit(unit) {
+            return None;
+        }
+        let (start, start_rack) = self.rotation();
+        let start_m = MachineId(start);
+        let n_racks = self.racks.len();
+        for seg in 0..=n_racks {
+            let (r, lo, hi) = if seg == 0 {
+                (start_rack, Some(start_m), None)
+            } else if seg == n_racks {
+                (start_rack, None, Some(start_m))
+            } else {
+                ((start_rack + seg) % n_racks, None, None)
+            };
+            if seg != 0 && seg != n_racks && r == start_rack {
+                continue;
+            }
+            let pruning = self.pruning;
+            let rack = &mut self.racks[r];
+            if pruning && !rack.can_fit(&self.free, unit) {
+                continue;
+            }
+            let range = match (lo, hi) {
+                (Some(l), None) => rack.nonempty.range(l..),
+                (None, Some(h)) => rack.nonempty.range(..h),
+                _ => rack.nonempty.range(..),
+            };
+            for &m in range {
+                if !avoid.contains(&m) && unit.fits_in(&self.free[m.0 as usize]) {
+                    return Some(m);
+                }
+            }
+        }
+        None
+    }
+
+    /// Iterates machines with free resources, starting after the rotating
+    /// cursor and wrapping, visiting each at most once. No fit pruning —
+    /// reporting and tests; the scheduler hot path uses
+    /// [`scan_fitting`](Self::scan_fitting).
+    pub fn scan_from_cursor(&self) -> impl Iterator<Item = MachineId> + '_ {
+        let (start, start_rack) = self.rotation();
+        let start_m = MachineId(start);
+        let n_racks = self.racks.len();
+        (0..=n_racks).flat_map(move |seg| {
+            let (r, lo, hi) = if seg == 0 {
+                (start_rack, Some(start_m), None)
+            } else if seg == n_racks {
+                (start_rack, None, Some(start_m))
+            } else {
+                ((start_rack + seg) % n_racks, None, None)
+            };
+            let skip = seg != 0 && seg != n_racks && r == start_rack;
+            let rack = &self.racks[r];
+            let iter: Box<dyn Iterator<Item = MachineId> + '_> = if skip {
+                Box::new(std::iter::empty())
+            } else {
+                match (lo, hi) {
+                    (Some(l), None) => Box::new(rack.nonempty.range(l..).copied()),
+                    (None, Some(h)) => Box::new(rack.nonempty.range(..h).copied()),
+                    _ => Box::new(rack.nonempty.range(..).copied()),
+                }
+            };
+            iter
+        })
     }
 
     /// Advances the cursor past `m` so the next scan starts elsewhere.
@@ -126,7 +423,7 @@ impl FreePool {
 
     /// Nonempty count.
     pub fn nonempty_count(&self) -> usize {
-        self.nonempty.len()
+        self.nonempty_total
     }
 
     /// Total free resources over all machines (O(n): reporting only).
@@ -146,6 +443,44 @@ impl FreePool {
         }
         t
     }
+
+    /// Test-support: verifies every fit-index invariant from scratch.
+    /// Aggregates must bound member free vectors (exactly when clean), the
+    /// nonempty sets must match the free vectors, and free ≤ capacity.
+    #[doc(hidden)]
+    pub fn assert_index_consistent(&self) {
+        let mut total = 0usize;
+        for (r, rack) in self.racks.iter().enumerate() {
+            let mut exact = ResourceVec::ZERO;
+            for &m in &rack.members {
+                assert_eq!(self.rack_of[m.0 as usize] as usize, r);
+                let f = &self.free[m.0 as usize];
+                assert!(
+                    f.fits_in(&self.capacity[m.0 as usize]),
+                    "free exceeds capacity on {m}"
+                );
+                assert_eq!(
+                    rack.nonempty.contains(&m),
+                    !f.is_zero(),
+                    "nonempty set out of sync on {m}"
+                );
+                exact.max_with(f);
+            }
+            total += rack.nonempty.len();
+            assert!(
+                exact.fits_in(&rack.max_free),
+                "rack {r} bound below a member free vector"
+            );
+            if !rack.dirty {
+                assert_eq!(exact, rack.max_free, "clean rack {r} bound not exact");
+            }
+            assert!(
+                rack.max_free.fits_in(&self.cluster_max),
+                "cluster bound below rack {r} bound"
+            );
+        }
+        assert_eq!(total, self.nonempty_total, "nonempty total out of sync");
+    }
 }
 
 #[cfg(test)]
@@ -154,6 +489,20 @@ mod tests {
 
     fn pool3() -> FreePool {
         FreePool::new(vec![ResourceVec::cores_mb(12, 96 * 1024); 3])
+    }
+
+    /// 2 racks × 3 machines.
+    fn pool_2x3() -> FreePool {
+        let caps = vec![ResourceVec::cores_mb(12, 96 * 1024); 6];
+        let rack_of = vec![
+            RackId(0),
+            RackId(0),
+            RackId(0),
+            RackId(1),
+            RackId(1),
+            RackId(1),
+        ];
+        FreePool::with_racks(caps, rack_of)
     }
 
     #[test]
@@ -166,6 +515,7 @@ mod tests {
         assert!(p.free(MachineId(0)).memory_mb() > 0, "cpu exhausted first");
         p.give(MachineId(0), &unit, 24);
         assert_eq!(p.fits(MachineId(0), &unit), 24);
+        p.assert_index_consistent();
     }
 
     #[test]
@@ -178,6 +528,7 @@ mod tests {
         assert_eq!(p.scan_from_cursor().collect::<Vec<_>>(), vec![MachineId(0)]);
         p.give(MachineId(1), &unit, 1);
         assert_eq!(p.nonempty_count(), 2);
+        p.assert_index_consistent();
     }
 
     #[test]
@@ -194,6 +545,17 @@ mod tests {
     }
 
     #[test]
+    fn cursor_rotates_across_racks() {
+        let mut p = pool_2x3();
+        p.advance_cursor(MachineId(3));
+        let order: Vec<u32> = p.scan_from_cursor().map(|m| m.0).collect();
+        assert_eq!(order, vec![4, 5, 0, 1, 2, 3], "wraps mid-rack");
+        let mut out = Vec::new();
+        p.scan_fitting(&ResourceVec::new(500, 2048), usize::MAX, &mut out);
+        assert_eq!(out.iter().map(|m| m.0).collect::<Vec<_>>(), vec![4, 5, 0, 1, 2, 3]);
+    }
+
+    #[test]
     fn set_capacity_to_zero_removes_machine() {
         let mut p = pool3();
         let unit = ResourceVec::new(500, 2048);
@@ -205,6 +567,7 @@ mod tests {
         // Bring it back with nothing in use.
         p.set_capacity(MachineId(1), ResourceVec::cores_mb(12, 96 * 1024), &ResourceVec::ZERO);
         assert_eq!(p.fits(MachineId(1), &unit), 24);
+        p.assert_index_consistent();
     }
 
     #[test]
@@ -215,6 +578,20 @@ mod tests {
         // Capacity shrinks below what is in use: free must be zero, not wrap.
         p.set_capacity(MachineId(0), unit.scaled(5), &unit.scaled(10));
         assert!(p.free(MachineId(0)).is_zero());
+        p.assert_index_consistent();
+    }
+
+    #[test]
+    fn give_clamps_to_shrunken_capacity() {
+        let mut p = pool3();
+        let unit = ResourceVec::new(500, 2048);
+        p.take(MachineId(0), &unit, 10);
+        // Node flap: capacity shrinks while 10 grants are outstanding.
+        p.set_capacity(MachineId(0), unit.scaled(5), &unit.scaled(10));
+        // All 10 come back; free must clamp at the new capacity, not 10×unit.
+        p.give(MachineId(0), &unit, 10);
+        assert_eq!(p.free(MachineId(0)), &unit.scaled(5));
+        p.assert_index_consistent();
     }
 
     #[test]
@@ -231,7 +608,97 @@ mod tests {
 
     #[test]
     fn zero_sized_unit_never_fits() {
-        let p = pool3();
+        let mut p = pool3();
         assert_eq!(p.fits(MachineId(0), &ResourceVec::ZERO), 0);
+        assert!(!p.cluster_can_fit(&ResourceVec::ZERO));
+        let mut out = vec![MachineId(0)];
+        p.scan_fitting(&ResourceVec::ZERO, usize::MAX, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cluster_root_rejects_unfittable_unit_after_saturation() {
+        let mut p = pool_2x3();
+        // Fragmented saturation: drain memory everywhere, leave CPU free.
+        let hog = ResourceVec::new(0, 96 * 1024);
+        for i in 0..6 {
+            p.take(MachineId(i), &hog, 1);
+        }
+        let unit = ResourceVec::new(500, 2048);
+        // Every machine is nonempty (CPU left) yet nothing fits.
+        assert_eq!(p.nonempty_count(), 6);
+        assert!(!p.cluster_can_fit(&unit), "root bound must reject");
+        let mut out = Vec::new();
+        p.scan_fitting(&unit, usize::MAX, &mut out);
+        assert!(out.is_empty());
+        // CPU-only units still fit everywhere.
+        assert!(p.cluster_can_fit(&ResourceVec::new(500, 0)));
+        p.assert_index_consistent();
+    }
+
+    #[test]
+    fn rack_pruning_skips_saturated_rack_only() {
+        let mut p = pool_2x3();
+        let hog = ResourceVec::new(0, 96 * 1024);
+        for i in 0..3 {
+            p.take(MachineId(i), &hog, 1); // rack 0: memory gone
+        }
+        let unit = ResourceVec::new(500, 2048);
+        assert!(!p.rack_can_fit(RackId(0), &unit));
+        assert!(p.rack_can_fit(RackId(1), &unit));
+        let mut out = Vec::new();
+        p.scan_fitting(&unit, usize::MAX, &mut out);
+        assert_eq!(out, vec![MachineId(3), MachineId(4), MachineId(5)]);
+        p.assert_index_consistent();
+    }
+
+    #[test]
+    fn pruned_racks_still_charge_scan_budget() {
+        let mut p = pool_2x3();
+        let hog = ResourceVec::new(0, 96 * 1024);
+        for i in 0..3 {
+            p.take(MachineId(i), &hog, 1);
+        }
+        let unit = ResourceVec::new(500, 2048);
+        // Budget 4: rack 0 (pruned, 3 nonempty members) charges 3, leaving
+        // room for exactly one machine from rack 1 — identical to the naive
+        // scan's truncation point.
+        let mut pruned_out = Vec::new();
+        p.scan_fitting(&unit, 4, &mut pruned_out);
+        p.set_pruning(false);
+        let mut naive_out = Vec::new();
+        p.scan_fitting(&unit, 4, &mut naive_out);
+        assert_eq!(pruned_out, vec![MachineId(3)]);
+        assert_eq!(pruned_out, naive_out);
+    }
+
+    #[test]
+    fn dirty_bound_recomputes_lazily_and_stays_sound() {
+        let mut p = pool_2x3();
+        let unit = ResourceVec::new(500, 2048);
+        // Drain most of machine 0 (leaving {200, 1024}, below one unit);
+        // the rack bound is stale-high until a scan consults it, but never
+        // stale-low.
+        p.take(MachineId(0), &ResourceVec::new(11_800, 95 * 1024), 1);
+        assert!(p.rack_can_fit(RackId(0), &unit), "m1/m2 still fit");
+        let mut out = Vec::new();
+        p.scan_fitting(&unit, usize::MAX, &mut out);
+        assert_eq!(out.len(), 5, "machine 0 no longer fits a unit");
+        p.assert_index_consistent();
+    }
+
+    #[test]
+    fn first_fitting_honours_avoid_and_rotation() {
+        let mut p = pool_2x3();
+        let unit = ResourceVec::new(500, 2048);
+        let avoid: BTreeSet<MachineId> = [MachineId(0), MachineId(1)].into();
+        assert_eq!(p.first_fitting(&unit, &avoid), Some(MachineId(2)));
+        p.advance_cursor(MachineId(4));
+        assert_eq!(p.first_fitting(&unit, &BTreeSet::new()), Some(MachineId(5)));
+        // Saturate everything: no candidate, answered at the root.
+        for i in 0..6 {
+            p.take(MachineId(i), &ResourceVec::new(0, 96 * 1024), 1);
+        }
+        assert_eq!(p.first_fitting(&unit, &BTreeSet::new()), None);
     }
 }

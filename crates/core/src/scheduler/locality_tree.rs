@@ -125,7 +125,7 @@ impl LocalityTree {
 
     /// Enqueue machine.
     pub fn enqueue_machine(&mut self, m: MachineId, key: QueueKey, footprint: &ResourceVec) {
-        let q = self.machine.entry(m).or_insert_with(WaitQueue::new);
+        let q = self.machine.entry(m).or_default();
         let before = q.len();
         q.insert(key, footprint);
         self.total_entries += q.len() - before;
@@ -133,7 +133,7 @@ impl LocalityTree {
 
     /// Enqueue rack.
     pub fn enqueue_rack(&mut self, r: RackId, key: QueueKey, footprint: &ResourceVec) {
-        let q = self.rack.entry(r).or_insert_with(WaitQueue::new);
+        let q = self.rack.entry(r).or_default();
         let before = q.len();
         q.insert(key, footprint);
         self.total_entries += q.len() - before;
@@ -209,37 +209,69 @@ impl LocalityTree {
         free: &ResourceVec,
         limit: usize,
     ) -> Vec<(Level, QueueKey)> {
-        let mut out = Vec::new();
-        let empty = WaitQueue::new();
-        let mq = self.machine.get(&m).unwrap_or(&empty);
-        let rq = self.rack.get(&rack).unwrap_or(&empty);
-        let queues: [(&WaitQueue, Level); 3] = [
-            (mq, Level::Machine),
-            (rq, Level::Rack),
-            (&self.cluster, Level::Cluster),
-        ];
-        let mut iters: Vec<_> = queues
-            .iter()
-            .filter(|(q, _)| !q.hopeless_for(free))
-            .map(|(q, lvl)| (q.iter().peekable(), *lvl))
-            .collect();
-        while out.len() < limit {
-            // Pick the smallest (priority, level, seq) across the fronts.
-            let mut best: Option<(usize, (Priority, Level, u64))> = None;
-            for (i, (it, lvl)) in iters.iter_mut().enumerate() {
-                if let Some(&&k) = it.peek() {
-                    let cand = (k.priority, *lvl, k.seq);
-                    if best.map(|(_, b)| cand < b).unwrap_or(true) {
-                        best = Some((i, cand));
+        let mq = self.machine.get(&m).filter(|q| !q.hopeless_for(free));
+        let rq = self.rack.get(&rack).filter(|q| !q.hopeless_for(free));
+        let cq = Some(&self.cluster).filter(|q| !q.hopeless_for(free));
+        let avail = mq.map_or(0, WaitQueue::len)
+            + rq.map_or(0, WaitQueue::len)
+            + cq.map_or(0, WaitQueue::len);
+        let mut out = Vec::with_capacity(limit.min(avail));
+        if out.capacity() == 0 {
+            return out;
+        }
+        // Three-way merge with cached fronts. Entries within a queue are
+        // already sorted, and levels are distinct, so two ranks are never
+        // equal and the smallest front is unambiguous.
+        static EMPTY: BTreeSet<QueueKey> = BTreeSet::new();
+        let mut m_it = mq.map_or(EMPTY.iter(), |q| q.entries.iter());
+        let mut r_it = rq.map_or(EMPTY.iter(), |q| q.entries.iter());
+        let mut c_it = cq.map_or(EMPTY.iter(), |q| q.entries.iter());
+        let mut m_f = m_it.next().copied();
+        let mut r_f = r_it.next().copied();
+        let mut c_f = c_it.next().copied();
+        let rank = |k: &QueueKey, lvl: Level| (k.priority, lvl, k.seq);
+        let min2 = |a: Option<(Priority, Level, u64)>, b: Option<(Priority, Level, u64)>| match (a, b)
+        {
+            (Some(x), Some(y)) => Some(x.min(y)),
+            (x, None) => x,
+            (None, y) => y,
+        };
+        // After winning the 3-way pick, a queue keeps popping while its
+        // front stays below both other fronts (which don't move meanwhile):
+        // the same sequence as re-picking each step, but the rival bound is
+        // computed once per run instead of per pop.
+        macro_rules! drain_run {
+            ($front:ident, $it:ident, $lvl:expr, $others:expr) => {{
+                let om = $others;
+                while let Some(k) = $front {
+                    if let Some(om) = om {
+                        if rank(&k, $lvl) >= om {
+                            break;
+                        }
+                    }
+                    out.push(($lvl, k));
+                    $front = $it.next().copied();
+                    if out.len() >= limit {
+                        return out;
                     }
                 }
-            }
-            let Some((i, _)) = best else { break };
-            let (it, lvl) = &mut iters[i];
-            let k = *it.next().expect("peeked");
-            out.push((*lvl, k));
+            }};
         }
-        out
+        loop {
+            let mr = m_f.map(|k| rank(&k, Level::Machine));
+            let rr = r_f.map(|k| rank(&k, Level::Rack));
+            let cr = c_f.map(|k| rank(&k, Level::Cluster));
+            let Some(best) = min2(min2(mr, rr), cr) else {
+                return out;
+            };
+            if Some(best) == mr {
+                drain_run!(m_f, m_it, Level::Machine, min2(rr, cr));
+            } else if Some(best) == rr {
+                drain_run!(r_f, r_it, Level::Rack, min2(mr, cr));
+            } else {
+                drain_run!(c_f, c_it, Level::Cluster, min2(mr, rr));
+            }
+        }
     }
 }
 

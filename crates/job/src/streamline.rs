@@ -165,7 +165,7 @@ mod tests {
             sort(a[20..35].to_vec()),
             sort(a[35..].to_vec()),
         ];
-        let merged: Vec<u32> = merge_sort(runs.drain(..).collect())
+        let merged: Vec<u32> = merge_sort(std::mem::take(&mut runs))
             .into_iter()
             .map(|(k, _)| k)
             .collect();

@@ -593,7 +593,7 @@ mod tests {
             let losers = t.attempt_succeeded(a.worker, a.instance.index, a.attempt, 1.0);
             assert!(losers.is_empty());
             done += 1;
-            now = now + fuxi_sim::SimDuration::from_secs(1);
+            now += fuxi_sim::SimDuration::from_secs(1);
         }
         assert_eq!(done, 5);
         assert!(t.is_complete());

@@ -377,9 +377,12 @@ mod tests {
     use std::cell::RefCell;
     use std::rc::Rc;
 
+    /// Shared `(time, message)` log of everything a master hears.
+    type MsgLog = Rc<RefCell<Vec<(f64, Msg)>>>;
+
     /// Records everything a master would hear from its worker.
     struct StubMaster {
-        log: Rc<RefCell<Vec<(f64, Msg)>>>,
+        log: MsgLog,
     }
     impl Actor<Msg> for StubMaster {
         fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, msg: Msg) {
@@ -387,7 +390,7 @@ mod tests {
         }
     }
 
-    fn setup() -> (World<Msg>, ActorId, ActorId, Rc<RefCell<Vec<(f64, Msg)>>>) {
+    fn setup() -> (World<Msg>, ActorId, ActorId, MsgLog) {
         let mut w: World<Msg> = World::new(WorldConfig::uniform(4, 2, 5));
         let log = Rc::new(RefCell::new(Vec::new()));
         let master = w.spawn(Some(0), Box::new(StubMaster { log: log.clone() }));

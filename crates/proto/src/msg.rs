@@ -562,7 +562,9 @@ impl SeqSender {
         Self { next: 1 }
     }
 
-    /// The sequence number for the next message.
+    /// The sequence number for the next message. Not an iterator: every
+    /// call consumes a number, and the stream never ends.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> u64 {
         if self.next == 0 {
             self.next = 1;

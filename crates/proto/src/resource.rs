@@ -198,9 +198,13 @@ impl ResourceVec {
 
     /// `true` iff every dimension of `self` is ≤ the same dimension of
     /// `available` — the admission test for one allocation.
+    #[inline]
     pub fn fits_in(&self, available: &ResourceVec) -> bool {
         if self.cpu_milli > available.cpu_milli || self.memory_mb > available.memory_mb {
             return false;
+        }
+        if self.virtuals.is_empty() {
+            return true;
         }
         self.virtuals
             .iter()
@@ -210,17 +214,26 @@ impl ResourceVec {
     /// How many copies of `self` fit into `available` (component-wise floor
     /// division, the multi-unit grant count used by the scheduler). Returns
     /// `u64::MAX` when `self` is the zero vector.
+    #[inline]
     pub fn times_fitting_in(&self, available: &ResourceVec) -> u64 {
-        let mut n = u64::MAX;
-        if self.cpu_milli > 0 {
-            n = n.min(available.cpu_milli / self.cpu_milli);
+        // Physical-only fast path: the overwhelmingly common case in the
+        // scheduler hot loop carries no virtual dimensions, so two divisions
+        // suffice and the binary-search walk is skipped entirely.
+        if self.virtuals.is_empty() {
+            let cpu = available.cpu_milli.checked_div(self.cpu_milli).unwrap_or(u64::MAX);
+            let mem = available.memory_mb.checked_div(self.memory_mb).unwrap_or(u64::MAX);
+            return cpu.min(mem);
         }
-        if self.memory_mb > 0 {
-            n = n.min(available.memory_mb / self.memory_mb);
+        let mut n = u64::MAX;
+        if let Some(q) = available.cpu_milli.checked_div(self.cpu_milli) {
+            n = n.min(q);
+        }
+        if let Some(q) = available.memory_mb.checked_div(self.memory_mb) {
+            n = n.min(q);
         }
         for &(id, amt) in &self.virtuals {
-            if amt > 0 {
-                n = n.min(available.virtual_amount(id) / amt);
+            if let Some(q) = available.virtual_amount(id).checked_div(amt) {
+                n = n.min(q);
             }
         }
         n
@@ -240,9 +253,13 @@ impl ResourceVec {
     }
 
     /// Adds `other * k` to self without materialising the intermediate.
+    #[inline]
     pub fn add_scaled(&mut self, other: &ResourceVec, k: u64) {
         self.cpu_milli += other.cpu_milli * k;
         self.memory_mb += other.memory_mb * k;
+        if other.virtuals.is_empty() {
+            return;
+        }
         for &(id, amt) in &other.virtuals {
             let cur = self.virtual_amount(id);
             self.set_virtual(id, cur + amt * k);
@@ -250,12 +267,55 @@ impl ResourceVec {
     }
 
     /// Subtracts `other * k`, saturating at zero per dimension.
+    #[inline]
     pub fn sub_scaled(&mut self, other: &ResourceVec, k: u64) {
         self.cpu_milli = self.cpu_milli.saturating_sub(other.cpu_milli * k);
         self.memory_mb = self.memory_mb.saturating_sub(other.memory_mb * k);
+        if other.virtuals.is_empty() {
+            return;
+        }
         for &(id, amt) in &other.virtuals {
             let cur = self.virtual_amount(id);
             self.set_virtual(id, cur.saturating_sub(amt * k));
+        }
+    }
+
+    /// Clamps every dimension of `self` to at most the matching dimension of
+    /// `bound`. Virtual dimensions absent from `bound` are dropped. Used when
+    /// returning resources to a machine whose capacity shrank in the meantime
+    /// (node flap, blacklist): free space must never exceed capacity.
+    pub fn clamp_to(&mut self, bound: &ResourceVec) {
+        if self.fits_in(bound) {
+            return;
+        }
+        self.cpu_milli = self.cpu_milli.min(bound.cpu_milli);
+        self.memory_mb = self.memory_mb.min(bound.memory_mb);
+        if self.virtuals.is_empty() {
+            return;
+        }
+        let mut clamped = Vec::with_capacity(self.virtuals.len());
+        for &(id, amt) in &self.virtuals {
+            let limit = bound.virtual_amount(id);
+            let v = amt.min(limit);
+            if v > 0 {
+                clamped.push((id, v));
+            }
+        }
+        self.virtuals = clamped;
+    }
+
+    /// Component-wise maximum with `other` — the join in the per-dimension
+    /// lattice. The scheduler's hierarchical fit index stores, per rack, the
+    /// component-wise max of member free vectors: if one unit does not fit in
+    /// that aggregate, it fits on no machine in the rack.
+    pub fn max_with(&mut self, other: &ResourceVec) {
+        self.cpu_milli = self.cpu_milli.max(other.cpu_milli);
+        self.memory_mb = self.memory_mb.max(other.memory_mb);
+        for &(id, amt) in &other.virtuals {
+            let cur = self.virtual_amount(id);
+            if amt > cur {
+                self.set_virtual(id, amt);
+            }
         }
     }
 
@@ -372,6 +432,65 @@ mod tests {
         assert_eq!(acc, unit.scaled(7));
         acc.sub_scaled(&unit, 7);
         assert!(acc.is_zero());
+    }
+
+    #[test]
+    fn clamp_to_is_noop_when_within_bound() {
+        let mut v = ResourceVec::new(500, 2048).with_virtual(vid(0), 3);
+        let bound = ResourceVec::cores_mb(12, 96 * 1024).with_virtual(vid(0), 5);
+        v.clamp_to(&bound);
+        assert_eq!(v, ResourceVec::new(500, 2048).with_virtual(vid(0), 3));
+    }
+
+    #[test]
+    fn clamp_to_caps_each_dimension_independently() {
+        // Node flap: capacity shrank from 12c/96GB to 4c/8GB while grants
+        // were being returned, so accumulated free exceeds the new capacity.
+        let mut free = ResourceVec::cores_mb(12, 4 * 1024);
+        let shrunk = ResourceVec::cores_mb(4, 8 * 1024);
+        free.clamp_to(&shrunk);
+        assert_eq!(free.cpu_milli(), 4000, "cpu clamped to new capacity");
+        assert_eq!(free.memory_mb(), 4 * 1024, "memory already within bound");
+    }
+
+    #[test]
+    fn clamp_to_drops_virtuals_absent_from_bound() {
+        // Virtual dimension deconfigured during the flap: entry must vanish,
+        // not linger at zero (ResourceVec never stores zero entries).
+        let mut free = ResourceVec::new(100, 100)
+            .with_virtual(vid(0), 7)
+            .with_virtual(vid(1), 2);
+        let bound = ResourceVec::new(100, 100).with_virtual(vid(1), 1);
+        free.clamp_to(&bound);
+        assert_eq!(free.virtual_amount(vid(0)), 0);
+        assert_eq!(free.virtual_amount(vid(1)), 1);
+        assert_eq!(free.virtuals().count(), 1, "zeroed entries are removed");
+    }
+
+    #[test]
+    fn max_with_is_component_wise_join() {
+        let mut a = ResourceVec::new(500, 4096).with_virtual(vid(0), 2);
+        let b = ResourceVec::new(1000, 1024).with_virtual(vid(1), 9);
+        a.max_with(&b);
+        assert_eq!(a.cpu_milli(), 1000);
+        assert_eq!(a.memory_mb(), 4096);
+        assert_eq!(a.virtual_amount(vid(0)), 2);
+        assert_eq!(a.virtual_amount(vid(1)), 9);
+        // Soundness of the fit-index bound: anything fitting in a or b fits
+        // in the join.
+        assert!(ResourceVec::new(1000, 1024).fits_in(&a));
+        assert!(ResourceVec::new(500, 4096).fits_in(&a));
+    }
+
+    #[test]
+    fn times_fitting_fast_path_matches_general_path() {
+        // Physical-only request against an available vector that also has
+        // virtuals: the fast path must ignore the extra dimensions.
+        let avail = ResourceVec::cores_mb(12, 96 * 1024).with_virtual(vid(0), 5);
+        let unit = ResourceVec::new(500, 2048);
+        assert_eq!(unit.times_fitting_in(&avail), 24);
+        assert_eq!(ResourceVec::new(0, 2048).times_fitting_in(&avail), 48);
+        assert_eq!(ResourceVec::new(500, 0).times_fitting_in(&avail), 24);
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub trait KernelMsg: std::fmt::Debug + 'static {
     fn flow_done(tag: u64, failed: bool) -> Self;
 }
 
+/// A scripted control step run against the whole world.
+pub(crate) type ControlFn<M> = Box<dyn FnOnce(&mut crate::world::World<M>)>;
+
 pub(crate) enum EventKind<M: KernelMsg> {
     /// Deliver `msg` from `from` to `to`.
     Deliver {
@@ -28,7 +31,7 @@ pub(crate) enum EventKind<M: KernelMsg> {
     FlowTick,
     /// Run a control closure against the whole world (fault injection,
     /// scripted scenario steps).
-    Control(Box<dyn FnOnce(&mut crate::world::World<M>)>),
+    Control(ControlFn<M>),
 }
 
 pub(crate) struct Event<M: KernelMsg> {

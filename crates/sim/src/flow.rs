@@ -285,10 +285,7 @@ impl FlowNet {
     /// Completes every flow whose predicted finish is ≤ `now`.
     pub fn advance(&mut self, now: SimTime) -> Vec<FlowDone> {
         let mut done = Vec::new();
-        loop {
-            let Some(&Reverse((t, version, id))) = self.heap.peek() else {
-                break;
-            };
+        while let Some(&Reverse((t, version, id))) = self.heap.peek() {
             if SimTime(t) > now {
                 break;
             }

@@ -775,8 +775,9 @@ mod tests {
         }
         let mut w = world(2);
         let a = w.spawn(Some(1), Box::new(Proc));
+        type ProcsOut = Rc<RefCell<Vec<(ActorId, Vec<u8>)>>>;
         struct Reader {
-            out: Rc<RefCell<Vec<(ActorId, Vec<u8>)>>>,
+            out: ProcsOut,
         }
         impl Actor<TMsg> for Reader {
             fn on_message(&mut self, ctx: &mut Ctx<'_, TMsg>, _: ActorId, _: TMsg) {

@@ -75,7 +75,7 @@ impl SyntheticMix {
     /// kinds alternate, durations sampled uniformly from the range.
     pub fn next_job(&mut self) -> SyntheticSpec {
         let shape = PAPER_SHAPES[(self.counter % 6) as usize];
-        let wordcount = self.counter % 2 == 0;
+        let wordcount = self.counter.is_multiple_of(2);
         self.counter += 1;
         let (lo, hi) = self.duration_range;
         let map_d = self.rng.gen_range(lo..hi);

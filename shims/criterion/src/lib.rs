@@ -1,0 +1,228 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! a small wall-clock benchmarking harness exposing the `criterion` API
+//! subset the benches use: [`Criterion::bench_function`], [`Bencher::iter`],
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Methodology (simplified criterion): a warm-up phase sizes the per-sample
+//! iteration count so one sample costs ~`sample_window`, then `samples`
+//! timed samples are collected and the median / mean / p95 per-iteration
+//! times are reported. Honouring `$CRITERION_QUICK=1` shortens runs for CI.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering, same contract as criterion's.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// One benchmark's statistics, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Benchmark id.
+    pub name: String,
+    /// Median ns/iter.
+    pub median_ns: f64,
+    /// Mean ns/iter.
+    pub mean_ns: f64,
+    /// 95th percentile ns/iter.
+    pub p95_ns: f64,
+    /// Total iterations measured.
+    pub iterations: u64,
+}
+
+/// The bench driver.
+pub struct Criterion {
+    warmup: Duration,
+    sample_window: Duration,
+    samples: usize,
+    /// Stats of every bench run so far (harness add-on; used by the
+    /// `bench_snapshot` binary to export machine-readable baselines).
+    pub collected: Vec<Stats>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let quick = std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false);
+        if quick {
+            Self {
+                warmup: Duration::from_millis(80),
+                sample_window: Duration::from_millis(8),
+                samples: 12,
+                collected: Vec::new(),
+            }
+        } else {
+            Self {
+                warmup: Duration::from_millis(400),
+                sample_window: Duration::from_millis(25),
+                samples: 40,
+                collected: Vec::new(),
+            }
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs `f` as a named benchmark and prints a criterion-style line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            mode: Mode::Calibrate {
+                deadline: Instant::now() + self.warmup,
+                per_iter_ns: 0.0,
+            },
+        };
+        // Warm-up + calibration: run until the deadline, tracking cost.
+        f(&mut b);
+        let per_iter_ns = match b.mode {
+            Mode::Calibrate { per_iter_ns, .. } => per_iter_ns.max(0.1),
+            _ => unreachable!(),
+        };
+        let window_ns = self.sample_window.as_nanos() as f64;
+        let iters_per_sample = (window_ns / per_iter_ns).clamp(1.0, 1e9) as u64;
+
+        let mut per_iter: Vec<f64> = Vec::with_capacity(self.samples);
+        let mut total_iters = 0u64;
+        for _ in 0..self.samples {
+            let mut sb = Bencher {
+                mode: Mode::Measure {
+                    iters: iters_per_sample,
+                    elapsed: Duration::ZERO,
+                },
+            };
+            f(&mut sb);
+            let elapsed = match sb.mode {
+                Mode::Measure { elapsed, .. } => elapsed,
+                _ => unreachable!(),
+            };
+            per_iter.push(elapsed.as_nanos() as f64 / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+        }
+        per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        let p95 = per_iter[(per_iter.len() as f64 * 0.95) as usize % per_iter.len()];
+        println!(
+            "{name:<48} time: [median {:>12} mean {:>12} p95 {:>12}] ({} iters)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            fmt_ns(p95),
+            total_iters
+        );
+        self.collected.push(Stats {
+            name: name.to_owned(),
+            median_ns: median,
+            mean_ns: mean,
+            p95_ns: p95,
+            iterations: total_iters,
+        });
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+enum Mode {
+    Calibrate { deadline: Instant, per_iter_ns: f64 },
+    Measure { iters: u64, elapsed: Duration },
+}
+
+/// Passed to the closure given to [`Criterion::bench_function`].
+pub struct Bencher {
+    mode: Mode,
+}
+
+impl Bencher {
+    /// Times `routine`, exactly like criterion's `Bencher::iter`.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        match &mut self.mode {
+            Mode::Calibrate {
+                deadline,
+                per_iter_ns,
+            } => {
+                let mut n = 0u64;
+                let start = Instant::now();
+                loop {
+                    black_box(routine());
+                    n += 1;
+                    // Check the clock only every few iterations to keep
+                    // calibration overhead negligible for fast routines.
+                    if n.is_multiple_of(16) && Instant::now() >= *deadline {
+                        break;
+                    }
+                }
+                *per_iter_ns = start.elapsed().as_nanos() as f64 / n as f64;
+            }
+            Mode::Measure { iters, elapsed } => {
+                let n = *iters;
+                let start = Instant::now();
+                for _ in 0..n {
+                    black_box(routine());
+                }
+                *elapsed = start.elapsed();
+            }
+        }
+    }
+}
+
+/// Same surface as criterion's macro; collects bench functions into one
+/// runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Same surface as criterion's macro; emits `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_plausible() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut s = 0u64;
+                for i in 0..100u64 {
+                    s = s.wrapping_add(black_box(i));
+                }
+                s
+            })
+        });
+        let st = &c.collected[0];
+        assert!(st.median_ns > 0.0);
+        assert!(st.iterations > 0);
+    }
+}

@@ -1,0 +1,379 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! a compact randomized property-testing harness with the same surface the
+//! test suites use: the `proptest! { #[test] fn name(x in strategy) {..} }`
+//! macro, `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!`,
+//! integer/float range strategies, tuple strategies, `prop::collection::vec`
+//! and `prop_map`.
+//!
+//! Differences from real proptest: no shrinking (a failing case prints its
+//! fully generated inputs and the deterministic seed instead) and a
+//! deterministic per-test seed so CI failures reproduce exactly. Case count
+//! defaults to 256; override with `PROPTEST_CASES`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Debug;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Error type carried by `prop_assert*` failures.
+pub type TestCaseError = String;
+
+/// Result type of one property-test case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// A generator of random values (simplified `proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates one of the values with equal probability (simplified
+    /// `prop_oneof`; used via [`Union`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// Boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn StrategyObj<Value = T>>);
+
+trait StrategyObj {
+    type Value;
+    fn generate_obj(&self, rng: &mut SmallRng) -> Self::Value;
+}
+
+impl<S: Strategy> StrategyObj for S {
+    type Value = S::Value;
+    fn generate_obj(&self, rng: &mut SmallRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        self.0.generate_obj(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut SmallRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl Strategy for core::ops::Range<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut SmallRng) -> char {
+        let (lo, hi) = (self.start as u32, self.end as u32);
+        char::from_u32(rng.gen_range(lo..hi)).unwrap_or(self.start)
+    }
+}
+
+/// `bool` strategy: fair coin.
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn generate(&self, rng: &mut SmallRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// Vec strategy: `len` drawn from `size`, elements from `element`.
+    pub struct VecStrategy<S> {
+        element: S,
+        min: usize,
+        max_exclusive: usize,
+    }
+
+    /// Sizes accepted by [`vec`].
+    pub trait IntoSizeRange {
+        /// `(min, max_exclusive)`.
+        fn bounds(self) -> (usize, usize);
+    }
+
+    impl IntoSizeRange for core::ops::Range<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (self.start, self.end)
+        }
+    }
+
+    impl IntoSizeRange for core::ops::RangeInclusive<usize> {
+        fn bounds(self) -> (usize, usize) {
+            (*self.start(), self.end().saturating_add(1))
+        }
+    }
+
+    impl IntoSizeRange for usize {
+        fn bounds(self) -> (usize, usize) {
+            (self, self + 1)
+        }
+    }
+
+    /// `prop::collection::vec(element, size)`.
+    pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+        let (min, max_exclusive) = size.bounds();
+        assert!(min < max_exclusive, "empty size range");
+        VecStrategy {
+            element,
+            min,
+            max_exclusive,
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.min..self.max_exclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Number of cases per property (default 256, env `PROPTEST_CASES`).
+pub fn cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Drives one property: draws `cases()` inputs from `strat` and runs `f` on
+/// each; panics with the seed and the generated inputs on the first failure.
+pub fn run_property<S>(name: &str, strat: S, f: impl Fn(S::Value) -> TestCaseResult)
+where
+    S: Strategy,
+    S::Value: Debug + Clone,
+{
+    // Deterministic per-test seed: failures reproduce run-to-run.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed ^= b as u64;
+        seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    for case in 0..cases() {
+        let value = strat.generate(&mut rng);
+        let shown = value.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(value)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => panic!(
+                "property '{name}' failed at case {case} (seed {seed:#x}):\n  {msg}\n  input: {shown:?}"
+            ),
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic".to_owned());
+                panic!(
+                    "property '{name}' panicked at case {case} (seed {seed:#x}):\n  {msg}\n  input: {shown:?}"
+                );
+            }
+        }
+    }
+}
+
+/// Defines property tests. Same surface as proptest's macro for the form
+/// `proptest! { #[test] fn name(x in strategy, ...) { body } }`.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident ( $($bind:pat_param in $strat:expr),+ $(,)? ) $body:block)+) => {
+        $(
+            // The `#[test]` attribute arrives through `$meta`, exactly as
+            // written at the call site (real proptest requires it too).
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_property(
+                    stringify!($name),
+                    ( $($strat,)+ ),
+                    |( $($bind,)+ )| -> $crate::TestCaseResult {
+                        $body
+                        Ok(())
+                    },
+                );
+            }
+        )+
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "msg {}", args…)`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a,
+                b
+            ));
+        }
+    }};
+}
+
+/// `prop_assert_ne!(a, b)`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        if *a == *b {
+            return Err(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($a),
+                stringify!($b),
+                a
+            ));
+        }
+    }};
+}
+
+/// Everything the tests import.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, BoxedStrategy, Just, Strategy,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0u32..10, y in -5i64..=5) {
+            prop_assert!(x < 10);
+            prop_assert!((-5..=5).contains(&y), "y out of range: {}", y);
+        }
+
+        #[test]
+        fn vec_and_map_compose(
+            v in prop::collection::vec((0u8..3, 0u16..100).prop_map(|(a, b)| a as u32 + b as u32), 1..20),
+        ) {
+            prop_assert!(!v.is_empty());
+            prop_assert!(v.len() < 20);
+            for x in &v {
+                prop_assert!(*x < 103);
+            }
+        }
+
+        #[test]
+        fn mut_bindings_work(mut v in prop::collection::vec(0u32..5, 0..4)) {
+            v.push(99);
+            prop_assert_eq!(*v.last().unwrap(), 99);
+            prop_assert_ne!(v.len(), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'failing' failed")]
+    fn failures_report_inputs() {
+        crate::run_property("failing", 0u32..10, |x| {
+            crate::prop_assert!(x > 100, "x was {}", x);
+            Ok(())
+        });
+    }
+}

@@ -1,0 +1,245 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal, deterministic implementation of the exact API subset
+//! the simulator and workload generators use: `SmallRng` + `SeedableRng`,
+//! `Rng::{gen_range, gen_bool}` over integer/float ranges, and
+//! `seq::SliceRandom::{choose, shuffle}`.
+//!
+//! The generator is xoshiro256++ (the same family the real `SmallRng` uses
+//! on 64-bit targets), seeded via SplitMix64 — high-quality, fast, and
+//! reproducible across runs, which is all the deterministic simulator needs.
+//! It is NOT cryptographically secure, exactly like the real `SmallRng`.
+
+/// Seedable random generators (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Random value generation (subset of `rand::Rng`).
+pub trait Rng {
+    /// The raw 64-bit output of the generator.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (`a..b` or `a..=b`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: UniformRange<T>,
+    {
+        range.sample_from(&mut |_| self.next_u64())
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 random mantissa bits → uniform in [0, 1).
+        let u = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        u < p
+    }
+}
+
+/// Range types `gen_range` accepts. The closure argument is an entropy
+/// source (its parameter is ignored; it exists so the trait stays object
+/// safe for the blanket implementation above).
+pub trait UniformRange<T> {
+    /// Draws one uniform sample using `next` for entropy.
+    fn sample_from(&self, next: &mut dyn FnMut(()) -> u64) -> T;
+}
+
+macro_rules! uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformRange<$t> for core::ops::Range<$t> {
+            fn sample_from(&self, next: &mut dyn FnMut(()) -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = bounded(next, span);
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl UniformRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(&self, next: &mut dyn FnMut(()) -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span == 0 || span > u64::MAX as u128 + 1 {
+                    return next(()) as $t; // full-width range
+                }
+                let v = bounded(next, span);
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! uniform_float {
+    ($($t:ty),*) => {$(
+        impl UniformRange<$t> for core::ops::Range<$t> {
+            fn sample_from(&self, next: &mut dyn FnMut(()) -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let u = (next(()) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                (self.start as f64 + u * (self.end as f64 - self.start as f64)) as $t
+            }
+        }
+        impl UniformRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from(&self, next: &mut dyn FnMut(()) -> u64) -> $t {
+                let (lo, hi) = (*self.start() as f64, *self.end() as f64);
+                assert!(lo <= hi, "empty range");
+                let u = (next(()) >> 10) as f64 * (1.0 / ((1u64 << 54) - 1) as f64);
+                (lo + u * (hi - lo)) as $t
+            }
+        }
+    )*};
+}
+
+uniform_float!(f32, f64);
+
+/// Uniform integer in `[0, span)` by widening multiply (Lemire's method,
+/// without the rejection step — the bias is < 2^-64 × span, irrelevant for
+/// simulation workloads).
+fn bounded(next: &mut dyn FnMut(()) -> u64, span: u128) -> u64 {
+    debug_assert!(span > 0);
+    if span > u64::MAX as u128 {
+        return next(());
+    }
+    ((next(()) as u128 * span) >> 64) as u64
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, non-cryptographic generator (xoshiro256++).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as the real rand crate does.
+            let mut x = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                *w = z ^ (z >> 31);
+            }
+            // All-zero state would be degenerate; SplitMix64 of any seed
+            // never produces four zero words, but be safe.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence helpers (subset of `rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Random slice operations (subset of `rand::seq::SliceRandom`).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// A uniformly random element, or `None` if empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                self.swap(i, rng.gen_range(0..=i));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::seq::SliceRandom;
+    use super::*;
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = rngs::SmallRng::seed_from_u64(42);
+        let mut b = rngs::SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rngs::SmallRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v: u32 = r.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i64 = r.gen_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = r.gen_range(0.25..0.75);
+            assert!((0.25..0.75).contains(&f));
+            let u: usize = r.gen_range(0..1);
+            assert_eq!(u, 0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = rngs::SmallRng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((27_000..33_000).contains(&hits), "hits = {hits}");
+    }
+
+    #[test]
+    fn shuffle_and_choose() {
+        let mut r = rngs::SmallRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        let orig = v.clone();
+        v.shuffle(&mut r);
+        assert_ne!(v, orig, "50 elements virtually never shuffle to identity");
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, orig, "shuffle is a permutation");
+        assert!(v.as_slice().choose(&mut r).is_some());
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut r).is_none());
+    }
+}

@@ -1,0 +1,484 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so this proc-macro crate
+//! is hand-rolled on top of `proc_macro` alone (no `syn`/`quote`). It
+//! implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for exactly
+//! the shapes present in this workspace:
+//!
+//! - named-field structs (with the `#[serde(...)]` attributes listed below)
+//! - newtype structs (`struct Priority(pub u16)`) — transparent
+//! - enums with unit variants (serialized as strings), newtype variants and
+//!   struct variants (single-key objects), matching real serde's externally
+//!   tagged JSON convention
+//!
+//! Container attributes: `rename_all = "PascalCase"`, `deny_unknown_fields`.
+//! Field attributes: `rename = "..."`, `default`, `default = "path"`,
+//! `skip_serializing_if = "path"`.
+//!
+//! Missing fields with no `default` fall back to deserializing from `Null`,
+//! which makes `Option<T>` fields tolerate absence (as real serde does) while
+//! still producing a "missing field" error for required scalar fields.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Default, Clone)]
+struct FieldAttrs {
+    rename: Option<String>,
+    default: Option<Option<String>>, // None = no default; Some(None) = Default::default; Some(Some(p)) = path
+    skip_serializing_if: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    ident: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    Newtype,
+    Struct(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    ident: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named(Vec<Field>),
+    Newtype,
+    Unit,
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug, Default)]
+struct ContainerAttrs {
+    rename_all_pascal: bool,
+    deny_unknown_fields: bool,
+}
+
+#[derive(Debug)]
+struct Input {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+/// Collects the `key`, `key = "value"` items inside a `#[serde(...)]` group.
+fn parse_serde_items(group: &proc_macro::Group) -> Vec<(String, Option<String>)> {
+    let mut items = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    while let Some(t) = tokens.next() {
+        let TokenTree::Ident(key) = t else { continue };
+        let key = key.to_string();
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '=' {
+                tokens.next();
+                if let Some(TokenTree::Literal(lit)) = tokens.next() {
+                    let s = lit.to_string();
+                    value = Some(s.trim_matches('"').to_string());
+                }
+            }
+        }
+        items.push((key, value));
+        // Skip the separating comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+    }
+    items
+}
+
+/// Consumes a leading run of `#[...]` attributes, returning any serde items.
+fn take_attrs(
+    tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+) -> Vec<(String, Option<String>)> {
+    let mut out = Vec::new();
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    let mut inner = g.stream().into_iter();
+                    if let Some(TokenTree::Ident(name)) = inner.next() {
+                        if name.to_string() == "serde" {
+                            if let Some(TokenTree::Group(args)) = inner.next() {
+                                out.extend(parse_serde_items(&args));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => return out,
+        }
+    }
+}
+
+fn field_attrs_from(items: Vec<(String, Option<String>)>) -> FieldAttrs {
+    let mut fa = FieldAttrs::default();
+    for (k, v) in items {
+        match k.as_str() {
+            "rename" => fa.rename = v,
+            "default" => fa.default = Some(v),
+            "skip_serializing_if" => fa.skip_serializing_if = v,
+            _ => {}
+        }
+    }
+    fa
+}
+
+/// Skips a type expression up to a top-level `,` (or end of stream),
+/// balancing `<`/`>` so generic arguments don't end the field early.
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    while let Some(t) = tokens.peek() {
+        if let TokenTree::Punct(p) = t {
+            let c = p.as_char();
+            if c == ',' && depth == 0 {
+                tokens.next();
+                return;
+            }
+            if c == '<' {
+                depth += 1;
+            }
+            if c == '>' {
+                depth -= 1;
+            }
+        }
+        tokens.next();
+    }
+}
+
+/// Parses the named fields inside a struct/struct-variant brace group.
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    loop {
+        let items = take_attrs(&mut tokens);
+        // Skip visibility.
+        while let Some(TokenTree::Ident(id)) = tokens.peek() {
+            if id.to_string() == "pub" {
+                tokens.next();
+                // Optional `(crate)` etc.
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next();
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        // Consume the `:`.
+        let Some(TokenTree::Punct(_)) = tokens.next() else {
+            break;
+        };
+        skip_type(&mut tokens);
+        fields.push(Field {
+            ident: name.to_string(),
+            attrs: field_attrs_from(items),
+        });
+    }
+    fields
+}
+
+fn parse_variants(group: &proc_macro::Group) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = group.stream().into_iter().peekable();
+    loop {
+        let _ = take_attrs(&mut tokens);
+        let Some(TokenTree::Ident(name)) = tokens.next() else {
+            break;
+        };
+        let mut shape = VariantShape::Unit;
+        if let Some(TokenTree::Group(g)) = tokens.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => shape = VariantShape::Newtype,
+                Delimiter::Brace => {
+                    let names = parse_named_fields(g).into_iter().map(|f| f.ident).collect();
+                    shape = VariantShape::Struct(names);
+                }
+                _ => {}
+            }
+            tokens.next();
+        }
+        variants.push(Variant {
+            ident: name.to_string(),
+            shape,
+        });
+        // Skip the separating comma.
+        if let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == ',' {
+                tokens.next();
+            }
+        }
+    }
+    variants
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    let items = take_attrs(&mut tokens);
+    let mut attrs = ContainerAttrs::default();
+    for (k, v) in items {
+        match k.as_str() {
+            "rename_all" => attrs.rename_all_pascal = v.as_deref() == Some("PascalCase"),
+            "deny_unknown_fields" => attrs.deny_unknown_fields = true,
+            _ => {}
+        }
+    }
+    // Skip visibility and find `struct` / `enum`.
+    let mut is_enum = false;
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => match id.to_string().as_str() {
+                "struct" => break,
+                "enum" => {
+                    is_enum = true;
+                    break;
+                }
+                _ => {}
+            },
+            Some(_) => {}
+            None => panic!("serde_derive shim: no struct/enum keyword found"),
+        }
+    }
+    let Some(TokenTree::Ident(name)) = tokens.next() else {
+        panic!("serde_derive shim: missing type name");
+    };
+    let name = name.to_string();
+    // Body: the next brace/paren group (no generics in this workspace).
+    let shape = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if is_enum {
+                    Shape::Enum(parse_variants(&g))
+                } else {
+                    Shape::Named(parse_named_fields(&g))
+                };
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = g
+                    .stream()
+                    .into_iter()
+                    .filter(|t| matches!(t, TokenTree::Punct(p) if p.as_char() == ','))
+                    .count();
+                assert!(
+                    n == 0,
+                    "serde_derive shim: multi-field tuple structs are unsupported"
+                );
+                break Shape::Newtype;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => break Shape::Unit,
+            Some(_) => {}
+            None => break Shape::Unit,
+        }
+    };
+    Input { name, attrs, shape }
+}
+
+// ---------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------
+
+/// `snake_case` → `PascalCase` (the only `rename_all` value in the tree).
+fn pascal(s: &str) -> String {
+    let mut out = String::new();
+    for part in s.split('_') {
+        let mut ch = part.chars();
+        if let Some(c) = ch.next() {
+            out.extend(c.to_uppercase());
+            out.push_str(ch.as_str());
+        }
+    }
+    out
+}
+
+fn wire_name(f: &Field, container: &ContainerAttrs) -> String {
+    if let Some(r) = &f.attrs.rename {
+        r.clone()
+    } else if container.rename_all_pascal {
+        pascal(&f.ident)
+    } else {
+        f.ident.clone()
+    }
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Newtype => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Unit => "serde::Value::Null".to_string(),
+        Shape::Named(fields) => {
+            let mut s = String::from(
+                "{ let mut fields: Vec<(String, serde::Value)> = Vec::new();\n",
+            );
+            for f in fields {
+                let wire = wire_name(f, &input.attrs);
+                let push = format!(
+                    "fields.push((\"{wire}\".to_string(), serde::Serialize::to_value(&self.{id})));",
+                    id = f.ident
+                );
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    s.push_str(&format!("if !{pred}(&self.{id}) {{ {push} }}\n", id = f.ident));
+                } else {
+                    s.push_str(&push);
+                    s.push('\n');
+                }
+            }
+            s.push_str("serde::Value::Object(fields) }");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vn = &v.ident;
+                match &v.shape {
+                    VariantShape::Unit => arms.push_str(&format!(
+                        "{name}::{vn} => serde::Value::Str(\"{vn}\".to_string()),\n"
+                    )),
+                    VariantShape::Newtype => arms.push_str(&format!(
+                        "{name}::{vn}(inner) => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Serialize::to_value(inner))]),\n"
+                    )),
+                    VariantShape::Struct(fs) => {
+                        let binds = fs.join(", ");
+                        let pushes: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(\"{f}\".to_string(), serde::Serialize::to_value({f})), "
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vn} {{ {binds} }} => serde::Value::Object(vec![(\"{vn}\".to_string(), serde::Value::Object(vec![{pushes}]))]),\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n fn to_value(&self) -> serde::Value {{ {body} }}\n}}\n"
+    )
+}
+
+fn gen_field_read(f: &Field, wire: &str) -> String {
+    let missing = match &f.attrs.default {
+        Some(None) => "Default::default()".to_string(),
+        Some(Some(path)) => format!("{path}()"),
+        None => format!(
+            "serde::Deserialize::from_value(&serde::Value::Null).map_err(|_| serde::DeError::custom(\"missing field `{wire}`\"))?"
+        ),
+    };
+    format!(
+        "{id}: match __v.get_field(\"{wire}\") {{ Some(v) => serde::Deserialize::from_value(v)?, None => {missing} }},\n",
+        id = f.ident
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.shape {
+        Shape::Newtype => {
+            format!("Ok({name}(serde::Deserialize::from_value(__v)?))")
+        }
+        Shape::Unit => format!("Ok({name})"),
+        Shape::Named(fields) => {
+            let mut s = format!(
+                "let __obj = __v.as_object().ok_or_else(|| serde::DeError::custom(\"expected object for {name}\"))?;\n"
+            );
+            if input.attrs.deny_unknown_fields {
+                let wires: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("\"{}\"", wire_name(f, &input.attrs)))
+                    .collect();
+                s.push_str(&format!(
+                    "for (k, _) in __obj.iter() {{ if ![{}].contains(&k.as_str()) {{ return Err(serde::DeError::custom(format!(\"unknown field `{{}}` in {name}\", k))); }} }}\n",
+                    wires.join(", ")
+                ));
+            }
+            s.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                let wire = wire_name(f, &input.attrs);
+                s.push_str(&gen_field_read(f, &wire));
+            }
+            s.push_str("})");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut keyed_arms = String::new();
+            for v in variants {
+                let vn = &v.ident;
+                match &v.shape {
+                    VariantShape::Unit => unit_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}),\n"
+                    )),
+                    VariantShape::Newtype => keyed_arms.push_str(&format!(
+                        "\"{vn}\" => return Ok({name}::{vn}(serde::Deserialize::from_value(__inner)?)),\n"
+                    )),
+                    VariantShape::Struct(fs) => {
+                        let reads: String = fs
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: match __inner.get_field(\"{f}\") {{ Some(v) => serde::Deserialize::from_value(v)?, None => serde::Deserialize::from_value(&serde::Value::Null).map_err(|_| serde::DeError::custom(\"missing field `{f}`\"))? }},\n"
+                                )
+                            })
+                            .collect();
+                        keyed_arms.push_str(&format!(
+                            "\"{vn}\" => return Ok({name}::{vn} {{ {reads} }}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __v {{\n\
+                 serde::Value::Str(s) => match s.as_str() {{ {unit_arms} other => Err(serde::DeError::custom(format!(\"unknown variant `{{}}` of {name}\", other))) }},\n\
+                 serde::Value::Object(o) if o.len() == 1 => {{\n\
+                   let (__tag, __inner) = &o[0];\n\
+                   match __tag.as_str() {{ {keyed_arms} other => Err(serde::DeError::custom(format!(\"unknown variant `{{}}` of {name}\", other))) }}\n\
+                 }}\n\
+                 _ => Err(serde::DeError::custom(\"expected string or single-key object for enum {name}\")),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n fn from_value(__v: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n}}\n"
+    )
+}
+
+/// Derives the shim's `serde::Serialize` (a `to_value` tree builder).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize` (a `from_value` tree reader).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("generated Deserialize impl parses")
+}
