@@ -7,7 +7,7 @@ use fuxi_proto::msg::{AppDescription, WorkerSpec};
 use fuxi_proto::{
     AppId, FailReason, JobId, MachineId, Msg, NodeHealthReport, ResourceVec, UnitId, WorkerId,
 };
-use fuxi_sim::{Actor, ActorId, Ctx, FlowKind, FlowSpec, SimDuration};
+use fuxi_sim::{Actor, ActorId, Ctx, FlowKind, FlowSpec, SimDuration, TraceEvent, TraceId};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
@@ -81,11 +81,14 @@ const ENVELOPE_REFRESH_BEATS: u32 = 15;
 struct WorkerRt {
     spec: WorkerSpec,
     actor: Option<ActorId>,
+    /// Causal trace captured when the launch request arrived. Downloads and
+    /// retry timers reset the ambient trace, so it is stored, not inherited.
+    trace: TraceId,
 }
 
 enum PendingLaunch {
-    Master { launch: MasterLaunch },
-    Worker { spec: WorkerSpec },
+    Master { launch: MasterLaunch, trace: TraceId },
+    Worker { spec: WorkerSpec, trace: TraceId },
 }
 
 /// The per-machine agent actor.
@@ -107,13 +110,13 @@ pub struct FuxiAgent {
     /// StartWorker requests that arrived before the matching
     /// CapacityNotify (the FM→AM→FA path can beat the FM→FA path);
     /// retried a few times before failing.
-    parked: Vec<(WorkerSpec, u32)>,
+    parked: Vec<(WorkerSpec, u32, TraceId)>,
     beats: u32,
     /// Apps whose worker binary is already on local disk: container reuse
     /// means one download per (machine, app), not one per worker.
     binary_cache: BTreeSet<AppId>,
     /// Workers waiting for an in-flight download of their app's binary.
-    download_waiters: BTreeMap<AppId, Vec<WorkerSpec>>,
+    download_waiters: BTreeMap<AppId, Vec<(WorkerSpec, TraceId)>>,
 }
 
 impl FuxiAgent {
@@ -233,7 +236,11 @@ impl FuxiAgent {
             return;
         };
         match launch {
-            PendingLaunch::Master { launch } => {
+            PendingLaunch::Master { launch, trace } => {
+                // Restore the causal context the request arrived under: the
+                // spawn below hands it to the JobMaster's `on_start`, and
+                // every reply to the FuxiMaster inherits it.
+                ctx.set_trace(trace);
                 let app = launch.app;
                 if failed || !ctx.launch_ok(self.m()) {
                     self.launch_failures_since_hb += 1;
@@ -266,28 +273,31 @@ impl FuxiAgent {
                     );
                 }
             }
-            PendingLaunch::Worker { spec } => {
+            PendingLaunch::Worker { spec, trace } => {
                 let app = spec.app;
                 let waiters = self.download_waiters.remove(&app).unwrap_or_default();
                 if failed || !ctx.launch_ok(self.m()) {
                     self.launch_failures_since_hb += 1;
-                    for s in std::iter::once(&spec).chain(waiters.iter()) {
+                    for (s, t) in
+                        std::iter::once((&spec, trace)).chain(waiters.iter().map(|(s, t)| (s, *t)))
+                    {
                         ctx.metrics().count("fa.worker_launch_failed", 1);
-                        ctx.send(
+                        ctx.send_traced(
                             s.master,
                             Msg::WorkerStartFailed {
                                 worker: s.worker,
                                 machine: self.machine,
                                 reason: "launch failed".into(),
                             },
+                            t,
                         );
                     }
                     return;
                 }
                 self.binary_cache.insert(app);
-                self.spawn_worker(ctx, spec);
-                for s in waiters {
-                    self.spawn_worker(ctx, s);
+                self.spawn_worker(ctx, spec, trace);
+                for (s, t) in waiters {
+                    self.spawn_worker(ctx, s, t);
                 }
             }
         }
@@ -296,24 +306,27 @@ impl FuxiAgent {
     /// Starts a worker, downloading its app's binary only if this machine
     /// has not fetched it yet (one download per app per machine — the
     /// local package cache every production agent keeps).
-    fn start_or_download(&mut self, ctx: &mut Ctx<'_, Msg>, spec: WorkerSpec) {
+    fn start_or_download(&mut self, ctx: &mut Ctx<'_, Msg>, spec: WorkerSpec, trace: TraceId) {
         if self.binary_cache.contains(&spec.app) {
-            self.spawn_worker(ctx, spec);
+            self.spawn_worker(ctx, spec, trace);
             return;
         }
         match self.download_waiters.get_mut(&spec.app) {
-            Some(waiters) => waiters.push(spec),
+            Some(waiters) => waiters.push((spec, trace)),
             None => {
                 // First worker of this app here: fetch the binary; others
                 // queue behind the same download.
                 self.download_waiters.insert(spec.app, Vec::new());
                 let size = spec.binary_mb;
-                self.begin_download(ctx, size, PendingLaunch::Worker { spec });
+                self.begin_download(ctx, size, PendingLaunch::Worker { spec, trace });
             }
         }
     }
 
-    fn spawn_worker(&mut self, ctx: &mut Ctx<'_, Msg>, spec: WorkerSpec) {
+    fn spawn_worker(&mut self, ctx: &mut Ctx<'_, Msg>, spec: WorkerSpec, trace: TraceId) {
+        // The worker actor's `on_start` and the WorkerStarted reply both
+        // belong to the job's causal chain.
+        ctx.set_trace(trace);
         let launch = WorkerLaunch {
             spec: spec.clone(),
             machine: self.machine,
@@ -324,6 +337,11 @@ impl FuxiAgent {
             .gauge_add("fa.planned_mem_mb", spec.limit.memory_mb() as f64);
         ctx.metrics()
             .gauge_add("fa.planned_cpu_milli", spec.limit.cpu_milli() as f64);
+        ctx.trace(TraceEvent::WorkerStarted {
+            app: spec.app.0,
+            worker: spec.worker.0,
+            machine: self.m(),
+        });
         ctx.send(
             spec.master,
             Msg::WorkerStarted {
@@ -337,6 +355,7 @@ impl FuxiAgent {
             WorkerRt {
                 spec,
                 actor: Some(actor),
+                trace,
             },
         );
     }
@@ -351,19 +370,28 @@ impl FuxiAgent {
             .pending
             .values()
             .filter(|p| match p {
-                PendingLaunch::Worker { spec } => spec.app == app && spec.unit == unit,
+                PendingLaunch::Worker { spec, .. } => spec.app == app && spec.unit == unit,
                 _ => false,
             })
             .count() as u64;
         let waiting = self
             .download_waiters
             .get(&app)
-            .map(|v| v.iter().filter(|s| s.unit == unit).count() as u64)
+            .map(|v| v.iter().filter(|(s, _)| s.unit == unit).count() as u64)
             .unwrap_or(0);
         live + pending + waiting
     }
 
-    fn drop_worker(&mut self, ctx: &mut Ctx<'_, Msg>, worker: WorkerId, kill_actor: bool) {
+    /// Removes a worker and records its `worker_exited` event. Returns the
+    /// trace the worker was launched under so callers can tag follow-up
+    /// messages (every removal path funnels through here).
+    fn drop_worker(
+        &mut self,
+        ctx: &mut Ctx<'_, Msg>,
+        worker: WorkerId,
+        kill_actor: bool,
+        reason: &'static str,
+    ) -> TraceId {
         if let Some(rt) = self.workers.remove(&worker) {
             if let (true, Some(actor)) = (kill_actor, rt.actor) {
                 ctx.kill(actor);
@@ -373,6 +401,18 @@ impl FuxiAgent {
                 .gauge_add("fa.planned_mem_mb", -(rt.spec.limit.memory_mb() as f64));
             ctx.metrics()
                 .gauge_add("fa.planned_cpu_milli", -(rt.spec.limit.cpu_milli() as f64));
+            ctx.trace_as(
+                rt.trace,
+                TraceEvent::WorkerExited {
+                    app: rt.spec.app.0,
+                    worker: worker.0,
+                    machine: self.m(),
+                    reason,
+                },
+            );
+            rt.trace
+        } else {
+            TraceId::NONE
         }
     }
 
@@ -444,8 +484,8 @@ impl FuxiAgent {
             let Some(worker) = victim else { break };
             ctx.metrics().count("fa.capacity_kills", 1);
             let master = self.workers[&worker].spec.master;
-            self.drop_worker(ctx, worker, true);
-            ctx.send(
+            let trace = self.drop_worker(ctx, worker, true, "killed");
+            ctx.send_traced(
                 master,
                 Msg::WorkerExited {
                     app,
@@ -453,6 +493,7 @@ impl FuxiAgent {
                     machine: self.machine,
                     reason: FailReason::Killed,
                 },
+                trace,
             );
         }
     }
@@ -467,14 +508,14 @@ impl FuxiAgent {
             .collect();
         for worker in crashed {
             let spec = self.workers[&worker].spec.clone();
-            self.drop_worker(ctx, worker, false);
+            let trace = self.drop_worker(ctx, worker, false, "crashed");
             ctx.metrics().count("fa.worker_crashes", 1);
             if self.cfg.restart_crashed_workers && ctx.launch_ok(self.m()) {
                 // Restart in place; the master learns the new address from
                 // the WorkerStarted it is about to receive.
-                self.spawn_worker(ctx, spec);
+                self.spawn_worker(ctx, spec, trace);
             } else {
-                ctx.send(
+                ctx.send_traced(
                     spec.master,
                     Msg::WorkerExited {
                         app: spec.app,
@@ -482,9 +523,13 @@ impl FuxiAgent {
                         machine: self.machine,
                         reason: FailReason::Crashed,
                     },
+                    trace,
                 );
             }
         }
+        // spawn_worker leaves the last restarted worker's trace ambient;
+        // the sweeps below tag their sends explicitly.
+        ctx.set_trace(TraceId::NONE);
         let dead_jms: Vec<AppId> = self
             .jms
             .iter()
@@ -492,18 +537,19 @@ impl FuxiAgent {
             .map(|(&app, _)| app)
             .collect();
         for app in dead_jms {
-            let (_, _, res) = self.jms.remove(&app).unwrap();
+            let (_, job, res) = self.jms.remove(&app).unwrap();
             ctx.metrics()
                 .gauge_add("fa.planned_mem_mb", -(res.memory_mb() as f64));
             ctx.metrics()
                 .gauge_add("fa.planned_cpu_milli", -(res.cpu_milli() as f64));
             if let Some(fm) = self.fm {
-                ctx.send(
+                ctx.send_traced(
                     fm,
                     Msg::AppMasterExited {
                         app,
                         machine: self.machine,
                     },
+                    TraceId::from_job(job.0),
                 );
             }
         }
@@ -526,8 +572,8 @@ impl FuxiAgent {
             };
             ctx.metrics().count("fa.overload_kills", 1);
             let spec = self.workers[&victim].spec.clone();
-            self.drop_worker(ctx, victim, true);
-            ctx.send(
+            let trace = self.drop_worker(ctx, victim, true, "killed");
+            ctx.send_traced(
                 spec.master,
                 Msg::WorkerExited {
                     app: spec.app,
@@ -535,6 +581,7 @@ impl FuxiAgent {
                     machine: self.machine,
                     reason: FailReason::Killed,
                 },
+                trace,
             );
         }
     }
@@ -574,6 +621,9 @@ impl FuxiAgent {
                                 usage_factor,
                             },
                             actor: Some(actor),
+                            // Adopted from a pre-restart agent: the launch
+                            // trace did not survive the process boundary.
+                            trace: TraceId::NONE,
                         },
                     );
                     self.sandbox.create(app, worker);
@@ -665,10 +715,14 @@ impl Actor<Msg> for FuxiAgent {
                             desc,
                             machine: self.machine,
                         },
+                        trace: ctx.trace_id(),
                     },
                 );
             }
             Msg::StartWorker { spec } => {
+                // The request carries the job's trace on its envelope; pin
+                // it now — the launch may detour through a download flow.
+                let trace = ctx.trace_id();
                 // Resource capacity ensurance: only start within the envelope.
                 let allowed = self.envelope.allowed(spec.app, spec.unit);
                 let running = self.running_count(spec.app, spec.unit);
@@ -679,7 +733,7 @@ impl Actor<Msg> for FuxiAgent {
                     if self.parked.is_empty() {
                         ctx.timer(SimDuration::from_millis(500), TIMER_PARKED);
                     }
-                    self.parked.push((spec, 0));
+                    self.parked.push((spec, 0, trace));
                     return;
                 }
                 if !ctx.launch_ok(self.m()) {
@@ -695,14 +749,14 @@ impl Actor<Msg> for FuxiAgent {
                     );
                     return;
                 }
-                self.start_or_download(ctx, spec);
+                self.start_or_download(ctx, spec, trace);
             }
             Msg::StopWorker { app, worker } => {
                 if let Some(waiters) = self.download_waiters.get_mut(&app) {
-                    waiters.retain(|s| s.worker != worker);
+                    waiters.retain(|(s, _)| s.worker != worker);
                 }
-                self.parked.retain(|(s, _)| s.worker != worker);
-                self.drop_worker(ctx, worker, true);
+                self.parked.retain(|(s, _, _)| s.worker != worker);
+                self.drop_worker(ctx, worker, true, "stopped");
             }
             Msg::CapacityNotify {
                 app,
@@ -733,7 +787,7 @@ impl Actor<Msg> for FuxiAgent {
                     .collect();
                 for w in stale {
                     ctx.metrics().count("fa.stale_workers_killed", 1);
-                    self.drop_worker(ctx, w, true);
+                    self.drop_worker(ctx, w, true, "stale");
                 }
             }
             Msg::FlowDone { tag, failed } => self.finish_download(ctx, tag, failed),
@@ -769,35 +823,37 @@ impl Actor<Msg> for FuxiAgent {
             }
             TIMER_PARKED => {
                 let parked = std::mem::take(&mut self.parked);
-                for (spec, attempts) in parked {
+                for (spec, attempts, trace) in parked {
                     let allowed = self.envelope.allowed(spec.app, spec.unit);
                     let running = self.running_count(spec.app, spec.unit);
                     if running < allowed {
                         if ctx.launch_ok(self.m()) {
-                            self.start_or_download(ctx, spec);
+                            self.start_or_download(ctx, spec, trace);
                         } else {
                             self.launch_failures_since_hb += 1;
-                            ctx.send(
+                            ctx.send_traced(
                                 spec.master,
                                 Msg::WorkerStartFailed {
                                     worker: spec.worker,
                                     machine: self.machine,
                                     reason: "machine cannot launch processes".into(),
                                 },
+                                trace,
                             );
                         }
                     } else if attempts >= 3 {
                         ctx.metrics().count("fa.start_rejected_capacity", 1);
-                        ctx.send(
+                        ctx.send_traced(
                             spec.master,
                             Msg::WorkerStartFailed {
                                 worker: spec.worker,
                                 machine: self.machine,
                                 reason: "insufficient granted capacity".into(),
                             },
+                            trace,
                         );
                     } else {
-                        self.parked.push((spec, attempts + 1));
+                        self.parked.push((spec, attempts + 1, trace));
                     }
                 }
                 if !self.parked.is_empty() {

@@ -274,11 +274,9 @@ mod tests {
     }
 
     #[test]
-    #[ignore = "seed known-failing: the service sends A:lost before B:granted, but the two \
-    notifications target actors on different machines and the simulated network's per-message \
-    latency jitter can deliver them in either order (observed ~93µs inversion). The assertion \
-    encodes a cross-actor delivery ordering the transport does not guarantee. Tracked in \
-    CHANGES.md (PR 1)."]
+    // Re-enabled (PR 2): the kernel now guarantees per-source FIFO delivery
+    // — everything one actor sends arrives in send order even across
+    // destinations — so "A:lost" can no longer overtake "B:granted".
     fn lease_expiry_passes_lock_to_standby() {
         let (mut w, log, ka, _a) = setup();
         // A stops keeping alive at t=3: lease (2s) expires by ~t=5.x.

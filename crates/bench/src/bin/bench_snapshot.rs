@@ -6,9 +6,17 @@
 //!
 //! Usage: `cargo run --release -p fuxi-bench --bin bench_snapshot [out.json]`
 //! Set `CRITERION_QUICK=1` for a fast low-confidence pass.
+//!
+//! The snapshot also runs the §5.2 synthetic experiment twice — tracing
+//! on and off — and records the Figure 9 decision-time medians of both.
+//! It exits non-zero if the instrumented median regresses more than 5%,
+//! and writes a `trace_sample.jsonl` (next to the output file) from the
+//! traced run for CI artifact upload / `trace_dump` smoke tests.
 
 use criterion::{black_box, Criterion};
-use fuxi_bench::scenarios;
+use fuxi_bench::{scenarios, Args};
+use fuxi_sim::obs::export::export_jsonl;
+use fuxi_sim::TracerConfig;
 use fuxi_core::scheduler::{LocalityTree, QueueKey};
 use fuxi_proto::request::RequestDelta;
 use fuxi_proto::{AppId, MachineId, Priority, RackId, ResourceVec, UnitId};
@@ -68,6 +76,43 @@ fn run_tree(c: &mut Criterion) {
     });
 }
 
+/// Figure 9 decision-path medians with tracing on and off, from two
+/// otherwise-identical synthetic runs (same seed, same workload).
+struct TracingOverhead {
+    traced_median_s: f64,
+    untraced_median_s: f64,
+    traced_count: u64,
+    /// traced / untraced median — the observability tax on the hot path.
+    ratio: f64,
+    /// JSONL export of the traced run, for artifacts and smoke tests.
+    sample_jsonl: String,
+}
+
+fn measure_tracing_overhead(quick: bool) -> TracingOverhead {
+    let args = Args {
+        scale: if quick { 0.005 } else { 0.02 },
+        duration_s: if quick { 120 } else { 300 },
+        seed: 2014,
+        trace_out: None,
+    };
+    let median = |out: &fuxi_bench::SyntheticOutcome| {
+        let h = out.cluster.world.metrics().histogram("fm.sched_s").expect("sched happened");
+        (h.quantile(0.5), h.count())
+    };
+    let off = TracerConfig { enabled: false, ..TracerConfig::default() };
+    let untraced = fuxi_bench::run_synthetic_experiment_with_obs(&args, off);
+    let traced = fuxi_bench::run_synthetic_experiment_with_obs(&args, TracerConfig::default());
+    let (untraced_median_s, _) = median(&untraced);
+    let (traced_median_s, traced_count) = median(&traced);
+    TracingOverhead {
+        traced_median_s,
+        untraced_median_s,
+        traced_count,
+        ratio: traced_median_s / untraced_median_s.max(1e-12),
+        sample_jsonl: export_jsonl(traced.cluster.world.tracer()),
+    }
+}
+
 fn main() {
     fuxi_bench::warn_if_debug();
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sched.json".to_owned());
@@ -108,11 +153,39 @@ fn main() {
         let sep = if i + 1 == pairs.len() { "" } else { "," };
         json.push_str(&format!("    \"{base}\": {ratio:.2}{sep}\n"));
     }
+    json.push_str("  },\n");
+
+    println!("\nmeasuring fig9 tracing overhead (two synthetic runs)...");
+    let ovh = measure_tracing_overhead(quick);
+    json.push_str("  \"fig9_tracing_overhead\": {\n");
+    json.push_str(&format!(
+        "    \"untraced_median_s\": {:.9},\n    \"traced_median_s\": {:.9},\n    \
+         \"traced_decisions\": {},\n    \"traced_over_untraced\": {:.4}\n",
+        ovh.untraced_median_s, ovh.traced_median_s, ovh.traced_count, ovh.ratio
+    ));
     json.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("write snapshot");
+    let sample_path = std::path::Path::new(&out_path).with_file_name("trace_sample.jsonl");
+    std::fs::write(&sample_path, &ovh.sample_jsonl).expect("write trace sample");
     println!("\nwrote {out_path}");
+    println!("wrote {} ({} bytes)", sample_path.display(), ovh.sample_jsonl.len());
     for (base, ratio) in &pairs {
         println!("  {base}: naive/indexed = {ratio:.2}x");
+    }
+    println!(
+        "  fig9 median: {:.2} us untraced vs {:.2} us traced ({:.1}% overhead, {} decisions)",
+        ovh.untraced_median_s * 1e6,
+        ovh.traced_median_s * 1e6,
+        (ovh.ratio - 1.0) * 100.0,
+        ovh.traced_count
+    );
+    // The acceptance gate: tracing must not slow the decision path >5%.
+    if ovh.ratio > 1.05 {
+        eprintln!(
+            "FAIL: tracing overhead {:.1}% exceeds the 5% budget on the fig9 median",
+            (ovh.ratio - 1.0) * 100.0
+        );
+        std::process::exit(1);
     }
 }

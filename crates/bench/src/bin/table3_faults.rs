@@ -5,11 +5,17 @@
 //!
 //! Run: `cargo run --release -p fuxi-bench --bin table3_faults -- [--scale 0.2]`
 //! (scale 1.0 = the paper's 300-node cluster)
+//!
+//! With `--trace-out <dir>`, the master-kill scenario additionally writes
+//! its observability stream — `trace.jsonl` (event log for `trace_dump`),
+//! `chrome_trace.json` (load it in Perfetto / `chrome://tracing`), and
+//! `metrics.json` — and verifies that the failover fired a flight dump.
 
 use fuxi_cluster::report::print_table;
 use fuxi_cluster::{fault_plan, Cluster, ClusterConfig, FaultRatios, SubmitOpts};
 use fuxi_proto::topology::MachineSpec;
 use fuxi_proto::ResourceVec;
+use fuxi_sim::obs::export;
 use fuxi_sim::SimTime;
 use fuxi_workloads::sortbench::{graysort_job, SortParams};
 use std::collections::BTreeSet;
@@ -27,6 +33,7 @@ fn run_scenario(
     seed: u64,
     sc: &Scenario,
     fault_window: (f64, f64),
+    trace_out: Option<&str>,
 ) -> f64 {
     let mut c = Cluster::new(ClusterConfig {
         n_machines: machines,
@@ -63,8 +70,35 @@ fn run_scenario(
     let done = c.run_until_job_done(job, SimTime::from_secs(100_000));
     let (ok, at) = done.expect("job completes under faults");
     assert!(ok, "{}: job must succeed", sc.name);
+    if sc.kill_master {
+        // The failover must have frozen the flight recorder: that dump is
+        // the forensic record Table 3's "+13 s" claim is reconstructed from.
+        let tracer = c.world.tracer();
+        assert!(
+            tracer.dumps.iter().any(|d| d.reason == "master_failover"),
+            "{}: expected a master_failover flight dump",
+            sc.name
+        );
+        if let Some(dir) = trace_out {
+            export_run(&c, dir);
+        }
+    }
     let submitted = c.job_state(job).map(|s| s.submitted_s).unwrap_or(0.0);
     at - submitted
+}
+
+/// Writes the run's observability stream into `dir`.
+fn export_run(c: &Cluster, dir: &str) {
+    std::fs::create_dir_all(dir).expect("create trace-out dir");
+    let t = c.world.tracer();
+    let write = |name: &str, contents: String| {
+        let path = format!("{dir}/{name}");
+        std::fs::write(&path, contents).expect("write trace export");
+        println!("  wrote {path}");
+    };
+    write("trace.jsonl", export::export_jsonl(t));
+    write("chrome_trace.json", export::export_chrome_trace(t));
+    write("metrics.json", c.world.metrics().snapshot_json());
 }
 
 fn main() {
@@ -108,7 +142,14 @@ fn main() {
     let mut fault_window = (30.0, 200.0);
     for sc in &scenarios {
         println!("running: {} ...", sc.name);
-        let t = run_scenario(machines, data_scale, args.seed, sc, fault_window);
+        let t = run_scenario(
+            machines,
+            data_scale,
+            args.seed,
+            sc,
+            fault_window,
+            args.trace_out.as_deref(),
+        );
         println!("  finished in {t:.0} s");
         if times.is_empty() {
             // Spread faults through the bulk of the (fault-free) runtime,

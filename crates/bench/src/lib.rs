@@ -14,12 +14,17 @@ use fuxi_proto::ResourceVec;
 use fuxi_sim::SimDuration;
 use fuxi_workloads::synthetic::SyntheticMix;
 
+pub mod tracetool;
+
 /// Common CLI arguments.
 #[derive(Debug, Clone)]
 pub struct Args {
     pub scale: f64,
     pub duration_s: u64,
     pub seed: u64,
+    /// `--trace-out <dir>`: export the observability stream (JSONL event
+    /// log, Chrome trace, metrics snapshot) of the run into a directory.
+    pub trace_out: Option<String>,
 }
 
 impl Args {
@@ -29,6 +34,7 @@ impl Args {
             scale: default_scale,
             duration_s: default_duration_s,
             seed: 2014,
+            trace_out: None,
         };
         let argv: Vec<String> = std::env::args().collect();
         let mut i = 1;
@@ -52,6 +58,10 @@ impl Args {
                 "--full" => {
                     args.scale = 1.0;
                     i += 1;
+                }
+                "--trace-out" => {
+                    args.trace_out = argv.get(i + 1).cloned();
+                    i += 2;
                 }
                 // Mode flags consumed by individual binaries.
                 "--petasort" => {
@@ -100,6 +110,16 @@ pub struct SyntheticOutcome {
 /// `duration_s` of simulated time. Instance counts are unscaled so the
 /// demand-to-capacity ratio matches the paper.
 pub fn run_synthetic_experiment(args: &Args) -> SyntheticOutcome {
+    run_synthetic_experiment_with_obs(args, fuxi_sim::TracerConfig::default())
+}
+
+/// [`run_synthetic_experiment`] with an explicit tracer configuration —
+/// `bench_snapshot` runs the experiment twice (tracing on / off) to bound
+/// the observability overhead on the Figure 9 decision path.
+pub fn run_synthetic_experiment_with_obs(
+    args: &Args,
+    obs: fuxi_sim::TracerConfig,
+) -> SyntheticOutcome {
     let machines = ((5000.0 * args.scale).round() as usize).max(20);
     let concurrent = ((1000.0 * args.scale).round() as usize).max(4);
     let mut cluster = Cluster::new(ClusterConfig {
@@ -107,6 +127,7 @@ pub fn run_synthetic_experiment(args: &Args) -> SyntheticOutcome {
         rack_size: 50,
         machine_spec: synthetic_machine_spec(),
         seed: args.seed,
+        obs,
         ..ClusterConfig::default()
     });
     // Large jobs saturate the scaled cluster exactly as in the paper; cap
@@ -213,6 +234,7 @@ mod tests {
             scale: 0.005, // 25 machines, 5 concurrent jobs
             duration_s: 120,
             seed: 7,
+            trace_out: None,
         };
         let out = run_synthetic_experiment(&args);
         let m = out.cluster.world.metrics();

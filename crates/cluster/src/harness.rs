@@ -10,7 +10,8 @@ use fuxi_proto::msg::AppDescription;
 use fuxi_proto::topology::{MachineSpec, Topology, TopologyBuilder};
 use fuxi_proto::{JobId, MachineId, Msg, Priority, QuotaGroupId};
 use fuxi_sim::{
-    Actor, ActorId, Ctx, MachineConfig, NetConfig, SimDuration, SimTime, World, WorldConfig,
+    Actor, ActorId, Ctx, MachineConfig, NetConfig, SimDuration, SimTime, TraceId, TracerConfig,
+    World, WorldConfig,
 };
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -39,6 +40,8 @@ pub struct ClusterConfig {
     pub standby_master: bool,
     /// Sampling interval for the utilization series (Figure 10).
     pub sample_interval: SimDuration,
+    /// Observability configuration (tracer, flight recorder).
+    pub obs: TracerConfig,
 }
 
 impl Default for ClusterConfig {
@@ -54,6 +57,7 @@ impl Default for ClusterConfig {
             jm: JobMasterConfig::default(),
             standby_master: false,
             sample_interval: SimDuration::from_secs(1),
+            obs: TracerConfig::default(),
         }
     }
 }
@@ -145,16 +149,19 @@ impl Actor<Msg> for Client {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
-        // Retry unaccepted submissions (master may have failed over).
+        // Retry unaccepted submissions (master may have failed over). Each
+        // retry re-opens the job's causal trace so a post-failover resubmit
+        // joins the same chain as the original.
         if let Some(fm) = self.naming.master() {
             for (&job, desc) in &self.pending {
-                ctx.send(
+                ctx.send_traced(
                     fm,
                     Msg::SubmitJob {
                         job,
                         desc: desc.clone(),
                         client: ctx.id(),
                     },
+                    TraceId::from_job(job.0),
                 );
             }
         }
@@ -241,6 +248,7 @@ impl Cluster {
             machines,
             net: cfg.net.clone(),
             seed: cfg.seed,
+            obs: cfg.obs.clone(),
         });
         let naming = NameRegistry::new();
         let store = StoreHandle::new();
@@ -353,13 +361,17 @@ impl Cluster {
             master_package_mb: opts.master_package_mb,
             payload: desc.to_json(),
         };
-        self.world.send_external(
+        // The causal trace opens here: everything downstream of this
+        // submission inherits `TraceId::from_job(job)` via the kernel's
+        // delivery envelopes.
+        self.world.send_external_traced(
             self.client,
             Msg::SubmitJob {
                 job,
                 desc: app_desc,
                 client: self.client,
             },
+            TraceId::from_job(job.0),
         );
         job
     }

@@ -32,7 +32,7 @@ use fuxi_proto::msg::{AppDescription, SeqCheck, SeqReceiver, SeqSender};
 use fuxi_proto::request::{GrantDelta, RequestDelta};
 use fuxi_proto::topology::Topology;
 use fuxi_proto::{AppId, JobId, MachineId, Msg, QuotaGroupId, UnitId};
-use fuxi_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
+use fuxi_sim::{Actor, ActorId, Ctx, SimDuration, SimTime, SpanKind, TraceEvent, TraceId};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// FuxiMaster tuning.
@@ -155,6 +155,14 @@ impl FuxiMaster {
         self.role == Role::Primary
     }
 
+    /// The causal trace of the job behind `app` (NONE for unknown apps).
+    fn trace_of_app(&self, app: AppId) -> TraceId {
+        self.app_to_job
+            .get(&app)
+            .map(|j| TraceId::from_job(j.0))
+            .unwrap_or(TraceId::NONE)
+    }
+
     // ------------------------------------------------------------------
     // Election & failover
     // ------------------------------------------------------------------
@@ -198,6 +206,10 @@ impl FuxiMaster {
         self.blacklist = Some(blacklist);
         self.naming.register(FUXI_MASTER, ctx.id());
         ctx.metrics().count("fm.became_primary", 1);
+        ctx.trace(TraceEvent::MasterElected {
+            actor: ctx.id().0,
+            failover: had_jobs,
+        });
         ctx.timer(self.cfg.batch_interval, TIMER_BATCH);
         ctx.timer(self.cfg.rollup_interval, TIMER_ROLLUP);
         if had_jobs {
@@ -205,6 +217,13 @@ impl FuxiMaster {
             self.role = Role::Rebuilding;
             self.apps_seen.clear();
             self.engine.as_mut().unwrap().pause();
+            ctx.trace(TraceEvent::RebuildStarted {
+                jobs: self.jobs.len() as u32,
+            });
+            // Forensic snapshot of what every actor saw leading into the
+            // failover — Table 3 fault runs produce a timeline, not just
+            // counters.
+            ctx.flight_dump("master_failover");
             ctx.timer(self.cfg.rebuild_window, TIMER_REBUILD_DONE);
         } else {
             self.role = Role::Primary;
@@ -216,6 +235,10 @@ impl FuxiMaster {
             return;
         }
         self.role = Role::Primary;
+        ctx.trace(TraceEvent::RebuildDone {
+            apps_seen: self.apps_seen.len() as u32,
+        });
+        let t_rebuild = std::time::Instant::now();
         let t = std::time::Instant::now();
         self.engine.as_mut().unwrap().resume();
         self.record_sched(ctx, t);
@@ -242,13 +265,15 @@ impl FuxiMaster {
             ctx.send(am, Msg::FullGrantSync { snapshot });
         }
         ctx.metrics().count("fm.rebuild_done", 1);
+        ctx.span(SpanKind::Rebuild, t_rebuild.elapsed().as_secs_f64());
     }
 
     // ------------------------------------------------------------------
     // Job lifecycle
     // ------------------------------------------------------------------
 
-    fn checkpoint(&mut self) {
+    fn checkpoint(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let t = std::time::Instant::now();
         let hard = HardState {
             jobs: self
                 .jobs
@@ -268,6 +293,7 @@ impl FuxiMaster {
             next_app: self.next_app,
         };
         hard.save(&self.store);
+        ctx.span(SpanKind::Checkpoint, t.elapsed().as_secs_f64());
     }
 
     fn submit_job(&mut self, ctx: &mut Ctx<'_, Msg>, job: JobId, desc: AppDescription, client: ActorId) {
@@ -290,8 +316,12 @@ impl FuxiMaster {
             },
         );
         self.app_to_job.insert(app, job);
+        // The job's causal chain is keyed by its id, so even a resubmission
+        // to a post-failover primary continues the same trace.
+        ctx.set_trace(TraceId::from_job(job.0));
+        ctx.trace(TraceEvent::JobSubmitted { job: job.0, app: app.0 });
         // Hard-state checkpoint happens exactly here and at job stop.
-        self.checkpoint();
+        self.checkpoint(ctx);
         ctx.send(client, Msg::JobAccepted { job, app });
         if self.is_active() {
             self.launch_jm(ctx, job);
@@ -306,6 +336,9 @@ impl FuxiMaster {
         if j.launching || j.jm_actor.is_some() {
             return;
         }
+        // Launches are triggered both causally (submit) and by the roll-up
+        // retry timer; re-establish the job's trace for both paths.
+        ctx.set_trace(TraceId::from_job(job.0));
         let app = j.app;
         let group = j.desc.quota_group;
         let res = j.desc.master_resource.clone();
@@ -338,6 +371,10 @@ impl FuxiMaster {
         j.jm_machine = Some(m);
         j.launching = true;
         let desc = j.desc.clone();
+        ctx.trace(TraceEvent::JmLaunchRequested {
+            app: app.0,
+            machine: m.0,
+        });
         ctx.send(agent, Msg::StartAppMaster { app, job, desc });
     }
 
@@ -352,6 +389,12 @@ impl FuxiMaster {
         let Some(j) = self.jobs.remove(&job) else {
             return;
         };
+        ctx.set_trace(TraceId::from_job(job.0));
+        ctx.trace(TraceEvent::JobFinished {
+            job: job.0,
+            app: app.0,
+            success,
+        });
         self.app_to_job.remove(&app);
         self.am_addr.remove(&app);
         self.req_rx.remove(&app);
@@ -361,7 +404,7 @@ impl FuxiMaster {
         self.engine.as_mut().unwrap().detach_app(app);
         self.record_sched(ctx, t);
         self.flush_engine(ctx);
-        self.checkpoint();
+        self.checkpoint(ctx);
         ctx.send(
             j.client,
             Msg::JobFinished {
@@ -384,6 +427,9 @@ impl FuxiMaster {
         let m = ctx.metrics();
         m.record("fm.sched_s", dt);
         m.push_series("fm.sched_ms", now, dt * 1e3);
+        // The Figure 9 histogram and the exported span timeline come from
+        // the same measurement.
+        ctx.span(SpanKind::SchedDecision, dt);
     }
 
     /// Drains engine decisions into `GrantUpdate` (to AMs) and
@@ -411,6 +457,27 @@ impl FuxiMaster {
                 } => (app, unit, machine, -(count as i64)),
             };
             if unit != MASTER_UNIT {
+                // One flush covers decisions for many jobs; each event and
+                // its fan-out messages carry their own job's trace.
+                let trace = self.trace_of_app(app);
+                ctx.trace_as(
+                    trace,
+                    if delta >= 0 {
+                        TraceEvent::Grant {
+                            app: app.0,
+                            unit: unit.0,
+                            machine: machine.0,
+                            count: delta as u64,
+                        }
+                    } else {
+                        TraceEvent::Revoke {
+                            app: app.0,
+                            unit: unit.0,
+                            machine: machine.0,
+                            count: (-delta) as u64,
+                        }
+                    },
+                );
                 per_am.entry(app).or_default().push(GrantDelta {
                     unit,
                     changes: vec![(machine, delta)],
@@ -423,7 +490,7 @@ impl FuxiMaster {
                         .unwrap()
                         .unit_resource(app, unit)
                         .unwrap_or(fuxi_proto::ResourceVec::ZERO);
-                    ctx.send(
+                    ctx.send_traced(
                         agent,
                         Msg::CapacityNotify {
                             app,
@@ -431,6 +498,7 @@ impl FuxiMaster {
                             unit_resource,
                             delta,
                         },
+                        trace,
                     );
                 }
             }
@@ -438,7 +506,8 @@ impl FuxiMaster {
         for (app, grants) in per_am {
             if let Some(&am) = self.am_addr.get(&app) {
                 let seq = self.grant_tx.entry(app).or_default().next();
-                ctx.send(am, Msg::GrantUpdate { seq, grants });
+                let trace = self.trace_of_app(app);
+                ctx.send_traced(am, Msg::GrantUpdate { seq, grants }, trace);
                 ctx.metrics().count("fm.grant_updates", 1);
             }
         }
@@ -453,14 +522,27 @@ impl FuxiMaster {
             self.pending_deltas.clear();
             return;
         }
+        let t_flush = std::time::Instant::now();
         let pending = std::mem::take(&mut self.pending_deltas);
+        let had_work = !pending.is_empty();
         for (app, per_unit) in pending {
             let deltas: Vec<RequestDelta> = per_unit.into_values().collect();
+            // The batch timer has no causal context of its own; each app's
+            // slice of the batch runs under its job's trace.
+            ctx.set_trace(self.trace_of_app(app));
+            ctx.trace(TraceEvent::RequestApplied {
+                app: app.0,
+                deltas: deltas.len() as u32,
+            });
             let t = std::time::Instant::now();
             self.engine.as_mut().unwrap().apply_deltas(app, &deltas);
             self.record_sched(ctx, t);
         }
+        ctx.set_trace(TraceId::NONE);
         self.flush_engine(ctx);
+        if had_work {
+            ctx.span(SpanKind::BatchFlush, t_flush.elapsed().as_secs_f64());
+        }
     }
 
     // ------------------------------------------------------------------
@@ -472,6 +554,7 @@ impl FuxiMaster {
             match tr {
                 Transition::Excluded(m, reason) => {
                     ctx.metrics().count("fm.machines_excluded", 1);
+                    ctx.trace_as(TraceId::NONE, TraceEvent::NodeDown { machine: m.0 });
                     let t = std::time::Instant::now();
                     self.engine.as_mut().unwrap().node_down(m);
                     self.record_sched(ctx, t);
@@ -500,6 +583,7 @@ impl FuxiMaster {
                 }
                 Transition::Readmitted(m) => {
                     ctx.metrics().count("fm.machines_readmitted", 1);
+                    ctx.trace_as(TraceId::NONE, TraceEvent::NodeUp { machine: m.0 });
                     let cap = self.topo.spec(m).resources.clone();
                     let t = std::time::Instant::now();
                     self.engine.as_mut().unwrap().node_up(m, cap);
@@ -680,6 +764,9 @@ impl Actor<Msg> for FuxiMaster {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        // Wall-clock cost of the whole handler (Table 2's per-message
+        // processing overhead comes from these spans).
+        let t_handler = std::time::Instant::now();
         match msg {
             Msg::LockGranted { .. }
                 if self.role == Role::Standby => {
@@ -689,6 +776,7 @@ impl Actor<Msg> for FuxiMaster {
                 // A primary that lost its lease must stop acting: another
                 // master owns the cluster now.
                 ctx.metrics().count("fm.lock_lost", 1);
+                ctx.trace(TraceEvent::MasterLockLost { actor: ctx.id().0 });
                 self.naming.deregister(FUXI_MASTER, ctx.id());
                 ctx.kill_self();
             }
@@ -772,6 +860,13 @@ impl Actor<Msg> for FuxiMaster {
                     j.launching = false;
                     let dt = ctx.now().since(submitted_at).as_secs_f64();
                     ctx.metrics().record("fm.jm_start_overhead_s", dt);
+                    ctx.trace_as(
+                        TraceId::from_job(job.0),
+                        TraceEvent::JmStarted {
+                            app: app.0,
+                            machine: machine.0,
+                        },
+                    );
                 }
             }
             Msg::AppMasterStartFailed { app, reason: _ } => {
@@ -799,6 +894,13 @@ impl Actor<Msg> for FuxiMaster {
             }
             Msg::AppMasterExited { app, machine } => {
                 if let Some(&job) = self.app_to_job.get(&app) {
+                    ctx.trace_as(
+                        TraceId::from_job(job.0),
+                        TraceEvent::JmExited {
+                            app: app.0,
+                            machine: machine.0,
+                        },
+                    );
                     {
                         let j = self.jobs.get_mut(&job).unwrap();
                         j.jm_actor = None;
@@ -875,6 +977,7 @@ impl Actor<Msg> for FuxiMaster {
             }
             _ => {}
         }
+        ctx.span(SpanKind::MsgHandler, t_handler.elapsed().as_secs_f64());
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {

@@ -22,7 +22,7 @@ use fuxi_proto::{
     AppId, InstanceOutcome, JobId, JobSummary, MachineId, Msg, Priority, ResourceVec, TaskId,
     UnitId, WorkerId,
 };
-use fuxi_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
+use fuxi_sim::{Actor, ActorId, Ctx, SimDuration, SimTime, TraceEvent, TraceId};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
 use std::rc::Rc;
@@ -189,6 +189,11 @@ impl JobMaster {
 
     fn unit_of(task: TaskId) -> UnitId {
         UnitId(task.0)
+    }
+
+    /// Flat instance id for trace events: `(task << 32) | index`.
+    fn inst_id(i: fuxi_proto::InstanceId) -> u64 {
+        ((i.task.0 as u64) << 32) | i.index as u64
     }
 
     fn task_of(unit: UnitId) -> TaskId {
@@ -627,6 +632,11 @@ impl JobMaster {
         tm.add_worker(worker, m);
         self.worker_task.insert(worker, task);
         self.worker_requested_at.insert(worker, ctx.now());
+        ctx.trace(TraceEvent::WorkerLaunchRequested {
+            app: self.app.0,
+            worker: worker.0,
+            machine: m.0,
+        });
         ctx.send(agent, Msg::StartWorker { spec });
         ctx.metrics().count("jm.workers_requested", 1);
     }
@@ -705,6 +715,13 @@ impl JobMaster {
 
     fn dispatch_assignments(&mut self, ctx: &mut Ctx<'_, Msg>, out: Vec<AssignmentOut>) {
         for a in out {
+            // The assignment decision happens here whether or not the
+            // worker's address is known yet — record it once.
+            ctx.trace(TraceEvent::InstanceAssigned {
+                instance: Self::inst_id(a.instance),
+                attempt: a.attempt,
+                worker: a.worker.0,
+            });
             match self.worker_actor.get(&a.worker) {
                 Some(&actor) => {
                     ctx.send(
@@ -789,6 +806,11 @@ impl JobMaster {
                     ctx.metrics()
                         .record("am.instance_overhead_s", (am_runtime - runtime_s).max(0.0));
                 }
+                ctx.trace(TraceEvent::InstanceFinished {
+                    instance: Self::inst_id(instance),
+                    attempt,
+                    ok: true,
+                });
                 for (lw, li, la) in losers {
                     if let Some(&actor) = self.worker_actor.get(&lw) {
                         ctx.send(actor, Msg::KillInstance { instance: li, attempt: la });
@@ -821,6 +843,13 @@ impl JobMaster {
             InstanceOutcome::Failed(reason) => {
                 let real_failure = tm.attempt_failed(worker, instance.index, attempt);
                 let machine = tm.workers.get(&worker).map(|w| w.machine);
+                if real_failure {
+                    ctx.trace(TraceEvent::InstanceFinished {
+                        instance: Self::inst_id(instance),
+                        attempt,
+                        ok: false,
+                    });
+                }
                 if real_failure && reason != fuxi_proto::FailReason::Killed {
                     ctx.metrics().count("jm.instance_failures", 1);
                     if let Some(m) = machine {
@@ -1109,6 +1138,10 @@ impl JobMaster {
 
 impl Actor<Msg> for JobMaster {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        // Everything this actor does belongs to its job's causal chain —
+        // re-establish it here and at every entry point below, since timers
+        // arrive with no ambient trace.
+        ctx.set_trace(TraceId::from_job(self.job.0));
         let meta = ProcMeta::JobMaster {
             app: self.app,
             job: self.job,
@@ -1143,6 +1176,7 @@ impl Actor<Msg> for JobMaster {
         if self.state == JmState::Done {
             return;
         }
+        ctx.set_trace(TraceId::from_job(self.job.0));
         match msg {
             Msg::GrantUpdate { seq, grants } => match self.rx.accept(seq) {
                 SeqCheck::Apply => self.apply_grant_deltas(ctx, grants),
@@ -1431,6 +1465,7 @@ impl Actor<Msg> for JobMaster {
         if self.state == JmState::Done {
             return;
         }
+        ctx.set_trace(TraceId::from_job(self.job.0));
         match tag {
             TIMER_HOUSEKEEPING => {
                 if self.state == JmState::Running {

@@ -9,7 +9,7 @@ use fuxi_proto::msg::WorkerSpec;
 use fuxi_proto::{
     AppId, FailReason, InstanceId, InstanceOutcome, InstanceWork, MachineId, Msg, UnitId, WorkerId,
 };
-use fuxi_sim::{Actor, ActorId, Ctx, FlowKind, FlowSpec, SimDuration, SimTime};
+use fuxi_sim::{Actor, ActorId, Ctx, FlowKind, FlowSpec, SimDuration, SimTime, TraceId};
 
 /// Worker tuning.
 #[derive(Debug, Clone)]
@@ -66,6 +66,10 @@ pub struct TaskWorker {
     /// implicitly acknowledges it (repairs lossy-network drops).
     unacked: Option<Msg>,
     ever_assigned: bool,
+    /// The job's causal trace, captured at spawn (the agent launches the
+    /// worker under it); re-pinned on timers so completion reports that
+    /// fire from compute/flow timers stay on the chain.
+    trace: TraceId,
 }
 
 impl TaskWorker {
@@ -83,6 +87,7 @@ impl TaskWorker {
             generation: 0,
             unacked: None,
             ever_assigned: false,
+            trace: TraceId::NONE,
         }
     }
 
@@ -195,6 +200,7 @@ impl TaskWorker {
 
 impl Actor<Msg> for TaskWorker {
     fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.trace = ctx.trace_id();
         // Appear in the machine's process table so a restarted agent can
         // adopt this worker (Section 4.3.1).
         let meta = ProcMeta::Worker {
@@ -219,6 +225,9 @@ impl Actor<Msg> for TaskWorker {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
+        if self.trace.is_some() {
+            ctx.set_trace(self.trace);
+        }
         match msg {
             Msg::AssignInstance {
                 instance,
@@ -310,6 +319,9 @@ impl Actor<Msg> for TaskWorker {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, tag: u64) {
+        if self.trace.is_some() {
+            ctx.set_trace(self.trace);
+        }
         match tag {
             TIMER_REPORT => {
                 if let Some(exec) = &self.current {

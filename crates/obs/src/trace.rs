@@ -1,0 +1,422 @@
+//! Typed trace events and causal trace IDs.
+//!
+//! Events are a `Copy` enum — recording one is a ring-buffer write, no
+//! heap allocation, no string formatting. Strings only appear at export
+//! time.
+
+use std::fmt;
+
+/// Causal identifier minted at job submission and propagated along every
+/// downstream message. `0` means "no causal context" (periodic timers,
+/// infrastructure chatter).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TraceId(pub u64);
+
+impl TraceId {
+    /// The absent trace (timer-driven and infrastructure activity).
+    pub const NONE: TraceId = TraceId(0);
+
+    /// The trace of job `job` (raw id). Deterministic — re-submitting the
+    /// same job id after a failover continues the same causal chain, which
+    /// is exactly what a forensic timeline wants.
+    pub fn from_job(job: u32) -> TraceId {
+        TraceId(1 + job as u64)
+    }
+
+    /// Inverse of [`TraceId::from_job`].
+    pub fn job(self) -> Option<u32> {
+        if self.0 == 0 {
+            None
+        } else {
+            Some((self.0 - 1) as u32)
+        }
+    }
+
+    /// `true` when a causal context is attached.
+    pub fn is_some(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Display for TraceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// One structured event. Field types are raw integers so the crate stays
+/// dependency-free; the protocol layer converts its newtypes at call sites.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// Client submission reached the FuxiMaster (trace minted here).
+    JobSubmitted {
+        /// Job id.
+        job: u32,
+        /// Application id the master assigned.
+        app: u32,
+    },
+    /// FuxiMaster asked an agent to start the job's JobMaster.
+    JmLaunchRequested {
+        /// Application id.
+        app: u32,
+        /// Machine chosen for the JobMaster.
+        machine: u32,
+    },
+    /// The JobMaster process is up.
+    JmStarted {
+        /// Application id.
+        app: u32,
+        /// Machine it runs on.
+        machine: u32,
+    },
+    /// The JobMaster process exited (crash or machine death).
+    JmExited {
+        /// Application id.
+        app: u32,
+        /// Machine it ran on.
+        machine: u32,
+    },
+    /// Scheduler granted containers.
+    Grant {
+        /// Application id.
+        app: u32,
+        /// ScheduleUnit id.
+        unit: u32,
+        /// Machine granted on.
+        machine: u32,
+        /// Containers granted.
+        count: u64,
+    },
+    /// Scheduler revoked containers.
+    Revoke {
+        /// Application id.
+        app: u32,
+        /// ScheduleUnit id.
+        unit: u32,
+        /// Machine revoked on.
+        machine: u32,
+        /// Containers revoked.
+        count: u64,
+    },
+    /// A batched request-delta flush applied to the engine.
+    RequestApplied {
+        /// Application id.
+        app: u32,
+        /// Number of per-unit deltas in the batch.
+        deltas: u32,
+    },
+    /// An application master asked an agent to launch a worker.
+    WorkerLaunchRequested {
+        /// Application id.
+        app: u32,
+        /// Worker id.
+        worker: u64,
+        /// Machine asked to launch.
+        machine: u32,
+    },
+    /// The worker process is up.
+    WorkerStarted {
+        /// Application id.
+        app: u32,
+        /// Worker id.
+        worker: u64,
+        /// Machine it runs on.
+        machine: u32,
+    },
+    /// The worker process exited or was killed.
+    WorkerExited {
+        /// Application id.
+        app: u32,
+        /// Worker id.
+        worker: u64,
+        /// Machine it ran on.
+        machine: u32,
+        /// Why ("crashed", "killed", "launch_failed", ...).
+        reason: &'static str,
+    },
+    /// An instance attempt was assigned to a worker.
+    InstanceAssigned {
+        /// Instance id.
+        instance: u64,
+        /// Attempt number.
+        attempt: u32,
+        /// Worker executing it.
+        worker: u64,
+    },
+    /// An instance attempt reached a terminal state.
+    InstanceFinished {
+        /// Instance id.
+        instance: u64,
+        /// Attempt number.
+        attempt: u32,
+        /// Whether the attempt succeeded.
+        ok: bool,
+    },
+    /// The job reached a terminal state at the FuxiMaster.
+    JobFinished {
+        /// Job id.
+        job: u32,
+        /// Application id.
+        app: u32,
+        /// Whether the job succeeded.
+        success: bool,
+    },
+    /// A machine went down (kernel fault or heartbeat exclusion).
+    NodeDown {
+        /// Machine id.
+        machine: u32,
+    },
+    /// A machine came (back) into the schedulable pool.
+    NodeUp {
+        /// Machine id.
+        machine: u32,
+    },
+    /// A FuxiMaster won the election lock.
+    MasterElected {
+        /// The master's actor id.
+        actor: u32,
+        /// `true` when it inherited jobs from a previous primary (failover).
+        failover: bool,
+    },
+    /// A primary lost its lease.
+    MasterLockLost {
+        /// The master's actor id.
+        actor: u32,
+    },
+    /// Failover soft-state rebuild window opened.
+    RebuildStarted {
+        /// Jobs recovered from the hard-state checkpoint.
+        jobs: u32,
+    },
+    /// Rebuild finished; scheduling resumed.
+    RebuildDone {
+        /// Applications whose soft state was re-collected.
+        apps_seen: u32,
+    },
+    /// The flight recorder dumped (see [`crate::FlightDump`] for contents).
+    FlightDumped {
+        /// Why ("master_failover", "node_down_storm", "invariant", ...).
+        reason: &'static str,
+        /// Events captured across all dumped rings.
+        events: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable event name used by the exporters and `trace_dump`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::JobSubmitted { .. } => "job_submitted",
+            TraceEvent::JmLaunchRequested { .. } => "jm_launch_requested",
+            TraceEvent::JmStarted { .. } => "jm_started",
+            TraceEvent::JmExited { .. } => "jm_exited",
+            TraceEvent::Grant { .. } => "grant",
+            TraceEvent::Revoke { .. } => "revoke",
+            TraceEvent::RequestApplied { .. } => "request_applied",
+            TraceEvent::WorkerLaunchRequested { .. } => "worker_launch_requested",
+            TraceEvent::WorkerStarted { .. } => "worker_started",
+            TraceEvent::WorkerExited { .. } => "worker_exited",
+            TraceEvent::InstanceAssigned { .. } => "instance_assigned",
+            TraceEvent::InstanceFinished { .. } => "instance_finished",
+            TraceEvent::JobFinished { .. } => "job_finished",
+            TraceEvent::NodeDown { .. } => "node_down",
+            TraceEvent::NodeUp { .. } => "node_up",
+            TraceEvent::MasterElected { .. } => "master_elected",
+            TraceEvent::MasterLockLost { .. } => "master_lock_lost",
+            TraceEvent::RebuildStarted { .. } => "rebuild_started",
+            TraceEvent::RebuildDone { .. } => "rebuild_done",
+            TraceEvent::FlightDumped { .. } => "flight_dumped",
+        }
+    }
+
+    /// Appends the event's fields as JSON object members (`,"k":v...`) —
+    /// shared by the JSONL and Chrome exporters.
+    pub fn write_json_fields(&self, out: &mut String) {
+        use std::fmt::Write;
+        match *self {
+            TraceEvent::JobSubmitted { job, app } => {
+                let _ = write!(out, ",\"job\":{job},\"app\":{app}");
+            }
+            TraceEvent::JmLaunchRequested { app, machine }
+            | TraceEvent::JmStarted { app, machine }
+            | TraceEvent::JmExited { app, machine } => {
+                let _ = write!(out, ",\"app\":{app},\"machine\":{machine}");
+            }
+            TraceEvent::Grant {
+                app,
+                unit,
+                machine,
+                count,
+            }
+            | TraceEvent::Revoke {
+                app,
+                unit,
+                machine,
+                count,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"app\":{app},\"unit\":{unit},\"machine\":{machine},\"count\":{count}"
+                );
+            }
+            TraceEvent::RequestApplied { app, deltas } => {
+                let _ = write!(out, ",\"app\":{app},\"deltas\":{deltas}");
+            }
+            TraceEvent::WorkerLaunchRequested { app, worker, machine }
+            | TraceEvent::WorkerStarted { app, worker, machine } => {
+                let _ = write!(out, ",\"app\":{app},\"worker\":{worker},\"machine\":{machine}");
+            }
+            TraceEvent::WorkerExited {
+                app,
+                worker,
+                machine,
+                reason,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"app\":{app},\"worker\":{worker},\"machine\":{machine},\"reason\":\"{reason}\""
+                );
+            }
+            TraceEvent::InstanceAssigned {
+                instance,
+                attempt,
+                worker,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"instance\":{instance},\"attempt\":{attempt},\"worker\":{worker}"
+                );
+            }
+            TraceEvent::InstanceFinished {
+                instance,
+                attempt,
+                ok,
+            } => {
+                let _ = write!(out, ",\"instance\":{instance},\"attempt\":{attempt},\"ok\":{ok}");
+            }
+            TraceEvent::JobFinished { job, app, success } => {
+                let _ = write!(out, ",\"job\":{job},\"app\":{app},\"success\":{success}");
+            }
+            TraceEvent::NodeDown { machine } | TraceEvent::NodeUp { machine } => {
+                let _ = write!(out, ",\"machine\":{machine}");
+            }
+            // "master", not "actor": the enclosing record line already has
+            // a top-level "actor" key and JSON duplicates are undefined.
+            TraceEvent::MasterElected { actor, failover } => {
+                let _ = write!(out, ",\"master\":{actor},\"failover\":{failover}");
+            }
+            TraceEvent::MasterLockLost { actor } => {
+                let _ = write!(out, ",\"master\":{actor}");
+            }
+            TraceEvent::RebuildStarted { jobs } => {
+                let _ = write!(out, ",\"jobs\":{jobs}");
+            }
+            TraceEvent::RebuildDone { apps_seen } => {
+                let _ = write!(out, ",\"apps_seen\":{apps_seen}");
+            }
+            TraceEvent::FlightDumped { reason, events } => {
+                let _ = write!(out, ",\"reason\":\"{reason}\",\"events\":{events}");
+            }
+        }
+    }
+}
+
+/// One recorded event: when, who, under which causal chain, what.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceRecord {
+    /// Simulated time, seconds.
+    pub t_s: f64,
+    /// Recording actor's id.
+    pub actor: u32,
+    /// Causal trace id (0 = none).
+    pub trace: TraceId,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// What a timed span covers. Spans measure *wall-clock* cost of real
+/// computation (the natively executing scheduler) at a *simulated*
+/// timestamp — the pairing behind the paper's Figure 9.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// One scheduler decision pass (request delta, free-up, node event).
+    SchedDecision,
+    /// A batched request-delta flush.
+    BatchFlush,
+    /// A FuxiMaster message-handler invocation.
+    MsgHandler,
+    /// Failover soft-state rebuild.
+    Rebuild,
+    /// Hard-state checkpoint write.
+    Checkpoint,
+}
+
+impl SpanKind {
+    /// Stable span name used by the exporters and metrics sink.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SpanKind::SchedDecision => "sched_decision",
+            SpanKind::BatchFlush => "batch_flush",
+            SpanKind::MsgHandler => "msg_handler",
+            SpanKind::Rebuild => "rebuild",
+            SpanKind::Checkpoint => "checkpoint",
+        }
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanRecord {
+    /// Simulated time the span was recorded, seconds.
+    pub t_s: f64,
+    /// Recording actor's id.
+    pub actor: u32,
+    /// Causal trace id active when the span ran (0 = none).
+    pub trace: TraceId,
+    /// What it covers.
+    pub kind: SpanKind,
+    /// Measured wall-clock duration, seconds.
+    pub wall_s: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_id_roundtrips_job() {
+        assert_eq!(TraceId::from_job(0).job(), Some(0));
+        assert_eq!(TraceId::from_job(41).job(), Some(41));
+        assert_eq!(TraceId::NONE.job(), None);
+        assert!(!TraceId::NONE.is_some());
+        assert!(TraceId::from_job(0).is_some());
+    }
+
+    #[test]
+    fn events_are_compact() {
+        // The hot-path record must stay one cache line: no heap anywhere.
+        assert!(std::mem::size_of::<TraceRecord>() <= 64);
+    }
+
+    #[test]
+    fn json_fields_render() {
+        let mut s = String::new();
+        TraceEvent::Grant {
+            app: 1,
+            unit: 2,
+            machine: 3,
+            count: 4,
+        }
+        .write_json_fields(&mut s);
+        assert_eq!(s, ",\"app\":1,\"unit\":2,\"machine\":3,\"count\":4");
+        let mut s = String::new();
+        TraceEvent::WorkerExited {
+            app: 9,
+            worker: 8,
+            machine: 7,
+            reason: "crashed",
+        }
+        .write_json_fields(&mut s);
+        assert!(s.contains("\"reason\":\"crashed\""));
+    }
+}

@@ -11,6 +11,7 @@ use crate::flow::FlowSpec;
 use crate::metrics::Metrics;
 use crate::time::{SimDuration, SimTime};
 use crate::world::WorldCore;
+use fuxi_obs::{SpanKind, TraceEvent, TraceId, Tracer};
 use rand::rngs::SmallRng;
 use std::fmt;
 
@@ -177,5 +178,63 @@ impl<'a, M: KernelMsg> Ctx<'a, M> {
     /// The world's metrics sink.
     pub fn metrics(&mut self) -> &mut Metrics {
         &mut self.core.metrics
+    }
+
+    // --- observability -----------------------------------------------------
+
+    /// The causal trace under which this handler runs: inherited from the
+    /// delivered message (or from the spawner for `on_start`), `NONE` for
+    /// timer-driven activity unless [`Ctx::set_trace`] re-establishes it.
+    #[inline]
+    pub fn trace_id(&self) -> TraceId {
+        self.core.current_trace
+    }
+
+    /// Re-establishes the causal context for the rest of this handler:
+    /// subsequent sends, spawns, and trace events carry `trace`. Actors
+    /// with a durable causal identity (a JobMaster belongs to exactly one
+    /// job) call this at the top of timer handlers.
+    #[inline]
+    pub fn set_trace(&mut self, trace: TraceId) {
+        self.core.current_trace = trace;
+    }
+
+    /// Sends `msg` under an explicit trace (overriding the inherited one) —
+    /// used where one handler acts for many causal chains, e.g. the
+    /// FuxiMaster flushing batched grants for several jobs.
+    pub fn send_traced(&mut self, to: ActorId, msg: M, trace: TraceId) {
+        self.core
+            .send_from_traced(self.self_id, to, msg, SimDuration::ZERO, trace);
+    }
+
+    /// Records a typed trace event under the current trace.
+    #[inline]
+    pub fn trace(&mut self, event: TraceEvent) {
+        self.core.trace_event(self.self_id, event);
+    }
+
+    /// Records a typed trace event under an explicit trace.
+    #[inline]
+    pub fn trace_as(&mut self, trace: TraceId, event: TraceEvent) {
+        self.core.trace_event_as(self.self_id, trace, event);
+    }
+
+    /// Records a completed span: `wall_s` of measured wall-clock work at
+    /// the current simulated time.
+    pub fn span(&mut self, kind: SpanKind, wall_s: f64) {
+        let t_s = self.core.time.as_secs_f64();
+        let trace = self.core.current_trace;
+        self.core.tracer.span(t_s, self.self_id.0, trace, kind, wall_s);
+    }
+
+    /// Forces a flight-recorder dump (invariant violations, failover).
+    pub fn flight_dump(&mut self, reason: &'static str) {
+        let t_s = self.core.time.as_secs_f64();
+        self.core.tracer.dump(t_s, reason);
+    }
+
+    /// Read access to the tracer (rarely needed by actors).
+    pub fn tracer(&self) -> &Tracer {
+        &self.core.tracer
     }
 }

@@ -3,6 +3,7 @@
 
 use crate::actor::ActorId;
 use crate::time::SimTime;
+use fuxi_obs::TraceId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -19,11 +20,14 @@ pub trait KernelMsg: std::fmt::Debug + 'static {
 pub(crate) type ControlFn<M> = Box<dyn FnOnce(&mut crate::world::World<M>)>;
 
 pub(crate) enum EventKind<M: KernelMsg> {
-    /// Deliver `msg` from `from` to `to`.
+    /// Deliver `msg` from `from` to `to`. The delivery envelope carries the
+    /// causal trace id, so trace propagation needs no protocol-level fields:
+    /// a handler's sends inherit the trace of the message being handled.
     Deliver {
         to: ActorId,
         from: ActorId,
         msg: M,
+        trace: TraceId,
     },
     /// Fire actor `actor`'s timer carrying `tag`.
     Timer { actor: ActorId, tag: u64 },

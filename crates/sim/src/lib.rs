@@ -34,6 +34,8 @@ pub mod world;
 
 pub use actor::{Actor, ActorId, Ctx};
 pub use event::KernelMsg;
+pub use fuxi_obs as obs;
+pub use fuxi_obs::{SpanKind, TraceEvent, TraceId, Tracer, TracerConfig};
 pub use failure::{Fault, FaultPlan};
 pub use flow::{FlowKind, FlowSpec};
 pub use metrics::{Histogram, Metrics};

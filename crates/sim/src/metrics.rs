@@ -98,7 +98,10 @@ impl Histogram {
         }
     }
 
-    /// Approximate quantile `q` in [0, 1].
+    /// Approximate quantile `q` in [0, 1]: linearly interpolated within the
+    /// winning bucket (assuming a uniform distribution inside it), rather
+    /// than returning the bucket's upper bound — the latter biased every
+    /// estimate upward by up to one full ≈19%-wide bucket.
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
@@ -106,10 +109,17 @@ impl Histogram {
         let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Self::bucket_value(i + 1).min(self.max).max(self.min);
+            if c == 0 {
+                continue;
             }
+            if seen + c >= target {
+                let lo = Self::bucket_value(i);
+                let hi = Self::bucket_value(i + 1);
+                // Rank position inside this bucket, in (0, 1].
+                let frac = (target - seen) as f64 / c as f64;
+                return (lo + frac * (hi - lo)).min(self.max).max(self.min);
+            }
+            seen += c;
         }
         self.max
     }
@@ -143,12 +153,7 @@ impl Metrics {
 
     /// Increments counter `name` by `by`.
     pub fn count(&mut self, name: &str, by: u64) {
-        match self.counters.get_mut(name) {
-            Some(c) => *c += by,
-            None => {
-                self.counters.insert(name.to_owned(), by);
-            }
-        }
+        *self.counters.entry(name.to_owned()).or_insert(0) += by;
     }
 
     /// Counter.
@@ -161,12 +166,7 @@ impl Metrics {
     /// `AM_obtained` / `FA_planned` curves) that a sampler turns into a
     /// series.
     pub fn gauge_add(&mut self, name: &str, delta: f64) {
-        match self.gauges.get_mut(name) {
-            Some(g) => *g += delta,
-            None => {
-                self.gauges.insert(name.to_owned(), delta);
-            }
-        }
+        *self.gauges.entry(name.to_owned()).or_insert(0.0) += delta;
     }
 
     /// Gauge.
@@ -176,12 +176,7 @@ impl Metrics {
 
     /// Appends `(t_seconds, value)` to time series `name`.
     pub fn push_series(&mut self, name: &str, t_s: f64, v: f64) {
-        match self.series.get_mut(name) {
-            Some(s) => s.push((t_s, v)),
-            None => {
-                self.series.insert(name.to_owned(), vec![(t_s, v)]);
-            }
-        }
+        self.series.entry(name.to_owned()).or_default().push((t_s, v));
     }
 
     /// Series.
@@ -196,14 +191,7 @@ impl Metrics {
 
     /// Records `v` into histogram `name`.
     pub fn record(&mut self, name: &str, v: f64) {
-        match self.histograms.get_mut(name) {
-            Some(h) => h.record(v),
-            None => {
-                let mut h = Histogram::new();
-                h.record(v);
-                self.histograms.insert(name.to_owned(), h);
-            }
-        }
+        self.histograms.entry(name.to_owned()).or_default().record(v);
     }
 
     /// Histogram.
@@ -211,8 +199,32 @@ impl Metrics {
         self.histograms.get(name)
     }
 
-    /// Mean of a series' values (time-unweighted).
+    /// Time-weighted mean of a series: the trapezoid integral of `v` over
+    /// `t` divided by the covered span. Unlike the unweighted mean, bursts
+    /// of dense sampling don't over-weight the sampled value.
     pub fn series_mean(&self, name: &str) -> f64 {
+        let s = self.series(name);
+        match s.len() {
+            0 => 0.0,
+            1 => s[0].1,
+            _ => {
+                let span = s[s.len() - 1].0 - s[0].0;
+                if span <= 0.0 {
+                    // Degenerate: all points share one timestamp.
+                    return self.series_mean_unweighted(name);
+                }
+                let area: f64 = s
+                    .windows(2)
+                    .map(|w| 0.5 * (w[0].1 + w[1].1) * (w[1].0 - w[0].0))
+                    .sum();
+                area / span
+            }
+        }
+    }
+
+    /// Mean of a series' values ignoring sample spacing (the pre-existing
+    /// behaviour; kept for consumers that sample on a strict cadence).
+    pub fn series_mean_unweighted(&self, name: &str) -> f64 {
         let s = self.series(name);
         if s.is_empty() {
             0.0
@@ -224,6 +236,69 @@ impl Metrics {
     /// Counters.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// A deterministic JSON snapshot of every counter, gauge, and histogram
+    /// (count/mean/min/max/p50/p95/p99), keys sorted. Series are summarised
+    /// by length and time-weighted mean rather than dumped point-by-point.
+    pub fn snapshot_json(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::from("{\"counters\":{");
+        let mut keys: Vec<&String> = self.counters.keys().collect();
+        keys.sort();
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", k, self.counters[*k]);
+        }
+        out.push_str("},\"gauges\":{");
+        let mut keys: Vec<&String> = self.gauges.keys().collect();
+        keys.sort();
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{}", k, self.gauges[*k]);
+        }
+        out.push_str("},\"histograms\":{");
+        let mut keys: Vec<&String> = self.histograms.keys().collect();
+        keys.sort();
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let h = &self.histograms[*k];
+            let _ = write!(
+                out,
+                "\"{}\":{{\"count\":{},\"mean\":{:.9},\"min\":{:.9},\"max\":{:.9},\"p50\":{:.9},\"p95\":{:.9},\"p99\":{:.9}}}",
+                k,
+                h.count(),
+                h.mean(),
+                h.min(),
+                h.max(),
+                h.quantile(0.5),
+                h.quantile(0.95),
+                h.quantile(0.99)
+            );
+        }
+        out.push_str("},\"series\":{");
+        let mut keys: Vec<&String> = self.series.keys().collect();
+        keys.sort();
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "\"{}\":{{\"points\":{},\"mean\":{:.9}}}",
+                k,
+                self.series[*k].len(),
+                self.series_mean(k)
+            );
+        }
+        out.push_str("}}");
+        out
     }
 }
 
@@ -247,6 +322,34 @@ mod tests {
         m.push_series("util", 1.0, 20.0);
         assert_eq!(m.series("util").len(), 2);
         assert!((m.series_mean("util") - 15.0).abs() < 1e-12);
+        assert!((m.series_mean_unweighted("util") - 15.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn series_mean_is_time_weighted() {
+        let mut m = Metrics::new();
+        // v=0 for 10 s, then a burst of v=100 samples within 1 s: the
+        // unweighted mean is dragged to ~75, the trapezoid mean stays low.
+        m.push_series("u", 0.0, 0.0);
+        m.push_series("u", 10.0, 0.0);
+        m.push_series("u", 10.5, 100.0);
+        m.push_series("u", 11.0, 100.0);
+        let w = m.series_mean("u");
+        let uw = m.series_mean_unweighted("u");
+        assert!((uw - 50.0).abs() < 1e-9, "unweighted = {uw}");
+        // Integral: 0*10 + 50*0.5 + 100*0.5 = 75 over 11 s ≈ 6.82.
+        assert!((w - 75.0 / 11.0).abs() < 1e-9, "weighted = {w}");
+    }
+
+    #[test]
+    fn series_mean_degenerate_cases() {
+        let mut m = Metrics::new();
+        assert_eq!(m.series_mean("none"), 0.0);
+        m.push_series("one", 3.0, 42.0);
+        assert_eq!(m.series_mean("one"), 42.0);
+        m.push_series("same_t", 1.0, 10.0);
+        m.push_series("same_t", 1.0, 30.0);
+        assert!((m.series_mean("same_t") - 20.0).abs() < 1e-12);
     }
 
     #[test]
@@ -303,5 +406,73 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0.0);
         assert_eq!(h.min(), 0.0);
         assert_eq!(h.max(), 0.0);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_complete() {
+        let mut m = Metrics::new();
+        m.count("b", 2);
+        m.count("a", 1);
+        m.gauge_add("g", 1.5);
+        m.record("lat", 0.001);
+        m.push_series("s", 0.0, 1.0);
+        m.push_series("s", 1.0, 3.0);
+        let j = m.snapshot_json();
+        assert_eq!(j, m.snapshot_json(), "snapshot must be deterministic");
+        // Keys sorted: "a" before "b".
+        let ia = j.find("\"a\":1").unwrap();
+        let ib = j.find("\"b\":2").unwrap();
+        assert!(ia < ib);
+        assert!(j.contains("\"lat\":{\"count\":1"));
+        assert!(j.contains("\"s\":{\"points\":2,\"mean\":2.000000000"));
+    }
+
+    /// Exact sample quantile with the same rank convention as
+    /// `Histogram::quantile` (ceil(q*n), 1-based).
+    fn exact_quantile(sorted: &[f64], q: f64) -> f64 {
+        let n = sorted.len();
+        let rank = (q.clamp(0.0, 1.0) * n as f64).ceil().max(1.0) as usize;
+        sorted[rank.min(n) - 1]
+    }
+
+    // Property test: for random samples and random q, the interpolated
+    // histogram quantile stays within one ~19% bucket of the exact sample
+    // quantile — both land in the same bucket by construction, so the ratio
+    // is bounded by one bucket width (2^(1/4) ≈ 1.19) in either direction.
+    use proptest::prelude::*;
+    proptest! {
+        #[test]
+        fn quantile_interpolation_tracks_exact_quantiles(
+            vals in prop::collection::vec(1e-6f64..10.0f64, 1..200),
+            q in 0.0f64..1.0f64,
+        ) {
+            let mut h = Histogram::new();
+            for &v in &vals {
+                h.record(v);
+            }
+            let mut sorted = vals.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let exact = exact_quantile(&sorted, q);
+            let est = h.quantile(q);
+            prop_assert!(
+                est / exact > 1.0 / 1.20 && est / exact < 1.20,
+                "q={} exact={} est={}", q, exact, est
+            );
+        }
+    }
+
+    #[test]
+    fn quantile_interpolates_below_bucket_upper_bound() {
+        // All mass in one bucket: the old implementation returned the
+        // bucket's upper bound for every q; interpolation must spread
+        // estimates across the bucket and bound them by the true extremes.
+        let mut h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(0.00100);
+        }
+        for q in [0.01, 0.5, 0.99] {
+            let v = h.quantile(q);
+            assert!((v - 0.001).abs() < 1e-12, "q={q} -> {v}");
+        }
     }
 }

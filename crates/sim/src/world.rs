@@ -6,6 +6,7 @@ use crate::flow::{FlowDone, FlowNet, FlowSpec};
 use crate::metrics::Metrics;
 use crate::net::NetConfig;
 use crate::time::{SimDuration, SimTime};
+use fuxi_obs::{TraceEvent, TraceId, Tracer, TracerConfig};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
@@ -30,6 +31,8 @@ pub struct WorldConfig {
     pub net: NetConfig,
     /// Deterministic RNG seed.
     pub seed: u64,
+    /// Observability configuration (tracer, flight recorder).
+    pub obs: TracerConfig,
 }
 
 impl WorldConfig {
@@ -46,6 +49,7 @@ impl WorldConfig {
             machines,
             net: NetConfig::default(),
             seed,
+            obs: TracerConfig::default(),
         }
     }
 }
@@ -80,14 +84,23 @@ pub struct WorldCore<M: KernelMsg> {
     flows: FlowNet,
     flows_dirty: bool,
     flow_tick_at: Option<SimTime>,
-    spawn_queue: Vec<(ActorId, Box<dyn Actor<M>>)>,
+    spawn_queue: Vec<(ActorId, Box<dyn Actor<M>>, TraceId)>,
     kill_queue: Vec<ActorId>,
-    /// Last scheduled delivery time per (from, to) channel: deliveries on a
-    /// channel are FIFO, as on a real RPC/TCP connection. The incremental
-    /// protocol's "delivered and processed in the same order as generated"
-    /// requirement (paper §3.1) holds per channel, exactly as in
-    /// production; cross-channel races remain.
-    channel_clock: std::collections::HashMap<(ActorId, ActorId), SimTime>,
+    /// Last scheduled delivery time per *source*: all sends from one actor
+    /// deliver in send order, even across destinations. This is stronger
+    /// than per-(from, to) channel FIFO and matches a single-threaded
+    /// sender draining one outbound queue: the incremental protocol's
+    /// "delivered and processed in the same order as generated" requirement
+    /// (paper §3.1) holds for everything one component emits, so a service
+    /// announcing "A lost the lock" before "B holds the lock" can never be
+    /// observed in the opposite order, even by observers on different
+    /// machines. Races between *different* sources remain.
+    channel_clock: std::collections::HashMap<ActorId, SimTime>,
+    /// The observability sink: typed trace events, spans, flight rings.
+    pub tracer: Tracer,
+    /// The causal trace of the message currently being dispatched; sends
+    /// and trace events inherit it unless overridden via `Ctx`.
+    pub(crate) current_trace: TraceId,
 }
 
 impl<M: KernelMsg> WorldCore<M> {
@@ -136,6 +149,18 @@ impl<M: KernelMsg> WorldCore<M> {
         msg: M,
         extra: SimDuration,
     ) {
+        let trace = self.current_trace;
+        self.send_from_traced(from, to, msg, extra, trace);
+    }
+
+    pub(crate) fn send_from_traced(
+        &mut self,
+        from: ActorId,
+        to: ActorId,
+        msg: M,
+        extra: SimDuration,
+        trace: TraceId,
+    ) {
         self.metrics.count("net.sent", 1);
         if self.net.dropped(&mut self.rng) {
             self.metrics.count("net.dropped", 1);
@@ -144,12 +169,9 @@ impl<M: KernelMsg> WorldCore<M> {
         let (same_machine, same_rack) = self.relation(from, to);
         let latency = self.net.sample_latency(&mut self.rng, same_machine, same_rack);
         let mut at = self.time + latency + extra;
-        // Per-channel FIFO: never deliver before an earlier send on the
-        // same (from, to) channel.
-        let clock = self
-            .channel_clock
-            .entry((from, to))
-            .or_insert(SimTime::ZERO);
+        // Per-source FIFO: never deliver before an earlier send from the
+        // same source (see `channel_clock`).
+        let clock = self.channel_clock.entry(from).or_insert(SimTime::ZERO);
         if at <= *clock {
             at = *clock + SimDuration::from_micros(1);
         }
@@ -166,7 +188,19 @@ impl<M: KernelMsg> WorldCore<M> {
         // protocol layer via SeqEnvelope tests; kernel-level dup would need
         // M: Clone. Drop-only chaos at this layer.
         let _ = self.net.duplicated(&mut self.rng);
-        self.queue.push(at, EventKind::Deliver { to, from, msg });
+        self.queue
+            .push(at, EventKind::Deliver { to, from, msg, trace });
+    }
+
+    /// Records a trace event attributed to `actor` under the current trace.
+    pub(crate) fn trace_event(&mut self, actor: ActorId, event: TraceEvent) {
+        let trace = self.current_trace;
+        self.trace_event_as(actor, trace, event);
+    }
+
+    pub(crate) fn trace_event_as(&mut self, actor: ActorId, trace: TraceId, event: TraceEvent) {
+        let t_s = self.time.as_secs_f64();
+        self.tracer.record(t_s, actor.0, trace, event);
     }
 
     fn relation(&self, a: ActorId, b: ActorId) -> (bool, bool) {
@@ -193,7 +227,10 @@ impl<M: KernelMsg> WorldCore<M> {
             alive: true,
             machine,
         });
-        self.spawn_queue.push((id, actor));
+        // The spawned actor's `on_start` runs under the trace active at
+        // spawn time, so processes launched on behalf of a job inherit its
+        // causal chain.
+        self.spawn_queue.push((id, actor, self.current_trace));
         id
     }
 
@@ -239,6 +276,10 @@ impl<M: KernelMsg> WorldCore<M> {
                     to: done.owner,
                     from: done.owner,
                     msg: M::flow_done(done.tag, done.failed),
+                    // Tick-driven completions have no dispatch context, so
+                    // this is NONE; owners with a durable causal identity
+                    // re-establish it via `Ctx::set_trace`.
+                    trace: self.current_trace,
                 },
             );
         }
@@ -282,6 +323,8 @@ impl<M: KernelMsg> World<M> {
                 spawn_queue: Vec::new(),
                 kill_queue: Vec::new(),
                 channel_clock: std::collections::HashMap::new(),
+                tracer: Tracer::new(cfg.obs),
+                current_trace: TraceId::NONE,
             },
             actors: Vec::new(),
         }
@@ -300,6 +343,16 @@ impl<M: KernelMsg> World<M> {
     /// Metrics mut.
     pub fn metrics_mut(&mut self) -> &mut Metrics {
         &mut self.core.metrics
+    }
+
+    /// The world's trace/span/flight-recorder sink.
+    pub fn tracer(&self) -> &Tracer {
+        &self.core.tracer
+    }
+
+    /// Tracer mut (for exports and manual dumps from harnesses).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.core.tracer
     }
 
     /// N machines.
@@ -341,6 +394,13 @@ impl<M: KernelMsg> World<M> {
         self.core.send_from(ActorId::NONE, to, msg);
     }
 
+    /// Sends a message into the world from a synthetic external source,
+    /// opening a causal trace that downstream handlers inherit.
+    pub fn send_external_traced(&mut self, to: ActorId, msg: M, trace: TraceId) {
+        self.core
+            .send_from_traced(ActorId::NONE, to, msg, SimDuration::ZERO, trace);
+    }
+
     /// Schedules a control closure to run at `time` (fault scripts, scenario
     /// steps).
     pub fn at(&mut self, time: SimTime, f: impl FnOnce(&mut World<M>) + 'static) {
@@ -379,6 +439,9 @@ impl<M: KernelMsg> World<M> {
         self.core.flows_dirty = true;
         self.schedule_flow_tick();
         self.core.metrics.count("fault.node_down", 1);
+        // Feeds the flight recorder's node-down storm detector.
+        self.core
+            .trace_event_as(ActorId::NONE, TraceId::NONE, TraceEvent::NodeDown { machine: m });
     }
 
     /// Brings machine `m` back up (empty: the harness respawns its agent).
@@ -389,6 +452,8 @@ impl<M: KernelMsg> World<M> {
         ms.launch_ok = true;
         ms.procs.clear();
         self.core.flows.set_speed(self.core.time, m, 1.0);
+        self.core
+            .trace_event_as(ActorId::NONE, TraceId::NONE, TraceEvent::NodeUp { machine: m });
     }
 
     /// Applies a SlowMachine fault: *compute* on `m` runs at `factor` (the
@@ -420,13 +485,18 @@ impl<M: KernelMsg> World<M> {
         debug_assert!(ev.time >= self.core.time, "time must be monotone");
         self.core.time = ev.time;
         match ev.kind {
-            EventKind::Deliver { to, from, msg } => {
+            EventKind::Deliver { to, from, msg, trace } => {
+                self.core.current_trace = trace;
                 self.dispatch(to, |actor, ctx| actor.on_message(ctx, from, msg));
+                self.core.current_trace = TraceId::NONE;
             }
             EventKind::Timer { actor, tag } => {
+                // Timer-driven activity has no inherited causal context.
+                self.core.current_trace = TraceId::NONE;
                 self.dispatch(actor, |a, ctx| a.on_timer(ctx, tag));
             }
             EventKind::FlowTick => {
+                self.core.current_trace = TraceId::NONE;
                 if self.core.flow_tick_at == Some(self.core.time) {
                     self.core.flow_tick_at = None;
                 }
@@ -488,7 +558,7 @@ impl<M: KernelMsg> World<M> {
                 self.core.flows.cancel_owned_by(self.core.time, id);
                 self.core.flows_dirty = true;
             }
-            let Some((id, actor)) = self.core.spawn_queue.pop() else {
+            let Some((id, actor, trace)) = self.core.spawn_queue.pop() else {
                 break;
             };
             let slot = id.0 as usize;
@@ -497,7 +567,10 @@ impl<M: KernelMsg> World<M> {
             }
             self.actors[slot] = Some(actor);
             // on_start may spawn/kill more; the outer loop drains those too.
+            // It runs under the trace captured at spawn time.
+            self.core.current_trace = trace;
             self.dispatch(id, |a, ctx| a.on_start(ctx));
+            self.core.current_trace = TraceId::NONE;
         }
         if self.core.flows_dirty {
             self.core.flows_dirty = false;

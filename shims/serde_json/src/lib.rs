@@ -8,8 +8,12 @@
 //! the type's `from_value`.
 
 use serde::de::DeserializeOwned;
-use serde::{Serialize, Value};
+use serde::Serialize;
 use std::fmt;
+
+// Real serde_json exposes its own `Value`; the shim's lives in the vendored
+// serde crate, so re-export it for consumers that only depend on serde_json.
+pub use serde::Value;
 
 /// Error produced by JSON parsing or value conversion.
 #[derive(Debug, Clone, PartialEq)]
