@@ -10,7 +10,7 @@ use fuxi_proto::{
 use fuxi_sim::{Actor, ActorId, Ctx, FlowKind, FlowSpec, SimDuration, TraceEvent, TraceId};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Everything a factory needs to construct an application-master actor.
 pub struct MasterLaunch {
@@ -34,10 +34,10 @@ pub struct WorkerLaunch {
 
 /// Builds the application-master actor for a job type — the simulation
 /// counterpart of exec'ing the downloaded master package.
-pub type MasterFactory = Rc<dyn Fn(&MasterLaunch) -> Box<dyn Actor<Msg>>>;
+pub type MasterFactory = Arc<dyn Fn(&MasterLaunch) -> Box<dyn Actor<Msg> + Send> + Send + Sync>;
 
 /// Builds a worker actor — the counterpart of exec'ing the worker binary.
-pub type WorkerFactory = Rc<dyn Fn(&WorkerLaunch) -> Box<dyn Actor<Msg>>>;
+pub type WorkerFactory = Arc<dyn Fn(&WorkerLaunch) -> Box<dyn Actor<Msg> + Send> + Send + Sync>;
 
 /// Agent tuning.
 #[derive(Debug, Clone)]
@@ -874,6 +874,7 @@ mod tests {
     use super::*;
     use fuxi_sim::{Actor as SimActor, SimTime, World, WorldConfig};
     use std::cell::RefCell;
+    use std::rc::Rc;
 
     /// Sink actor standing in for the FuxiMaster / application master.
     struct Sink {
@@ -892,8 +893,8 @@ mod tests {
     }
 
     fn factories() -> (MasterFactory, WorkerFactory) {
-        let mf: MasterFactory = Rc::new(|_launch| Box::new(NopWorker));
-        let wf: WorkerFactory = Rc::new(|_launch| Box::new(NopWorker));
+        let mf: MasterFactory = Arc::new(|_launch| Box::new(NopWorker));
+        let wf: WorkerFactory = Arc::new(|_launch| Box::new(NopWorker));
         (mf, wf)
     }
 

@@ -7,17 +7,18 @@
 //! comes from lock leases and heartbeat intervals, which *are* simulated.
 
 use fuxi_sim::ActorId;
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Well-known name of the FuxiMaster service.
 pub const FUXI_MASTER: &str = "fuxi-master";
 
-/// A cloneable handle to the shared name table.
+/// A cloneable handle to the shared name table. `Arc<Mutex>`-backed so the
+/// same handle serves both the single-threaded kernel and the live
+/// multi-threaded runtime.
 #[derive(Debug, Clone, Default)]
 pub struct NameRegistry {
-    inner: Rc<RefCell<BTreeMap<String, ActorId>>>,
+    inner: Arc<Mutex<BTreeMap<String, ActorId>>>,
 }
 
 impl NameRegistry {
@@ -28,12 +29,12 @@ impl NameRegistry {
 
     /// Registers (or replaces) the address for `name`.
     pub fn register(&self, name: &str, id: ActorId) {
-        self.inner.borrow_mut().insert(name.to_owned(), id);
+        self.inner.lock().unwrap().insert(name.to_owned(), id);
     }
 
     /// Removes a registration if `id` still owns it.
     pub fn deregister(&self, name: &str, id: ActorId) {
-        let mut map = self.inner.borrow_mut();
+        let mut map = self.inner.lock().unwrap();
         if map.get(name) == Some(&id) {
             map.remove(name);
         }
@@ -41,7 +42,7 @@ impl NameRegistry {
 
     /// Resolves a name.
     pub fn lookup(&self, name: &str) -> Option<ActorId> {
-        self.inner.borrow().get(name).copied()
+        self.inner.lock().unwrap().get(name).copied()
     }
 
     /// Resolves the FuxiMaster address.

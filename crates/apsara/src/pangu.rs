@@ -13,9 +13,8 @@ use fuxi_proto::MachineId;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// One chunk of a file.
 #[derive(Debug, Clone, PartialEq)]
@@ -137,17 +136,18 @@ impl PanguFs {
     }
 }
 
-/// Cloneable handle to a shared [`PanguFs`].
+/// Cloneable handle to a shared [`PanguFs`]. `Arc<Mutex>`-backed so one
+/// handle serves the kernel and the live runtime alike.
 #[derive(Debug, Clone)]
 pub struct PanguHandle {
-    inner: Rc<RefCell<PanguFs>>,
+    inner: Arc<Mutex<PanguFs>>,
 }
 
 impl PanguHandle {
     /// Creates a new instance with the given configuration.
     pub fn new(seed: u64) -> Self {
         Self {
-            inner: Rc::new(RefCell::new(PanguFs::new(seed))),
+            inner: Arc::new(Mutex::new(PanguFs::new(seed))),
         }
     }
 
@@ -161,23 +161,24 @@ impl PanguHandle {
         topo: &Topology,
     ) {
         self.inner
-            .borrow_mut()
+            .lock()
+            .unwrap()
             .create(name, total_mb, chunk_mb, replication, topo);
     }
 
     /// File.
     pub fn file(&self, name: &str) -> Option<PanguFile> {
-        self.inner.borrow().get(name).cloned()
+        self.inner.lock().unwrap().get(name).cloned()
     }
 
     /// Matching.
     pub fn matching(&self, pattern: &str) -> Vec<String> {
-        self.inner.borrow().matching(pattern)
+        self.inner.lock().unwrap().matching(pattern)
     }
 
     /// Delete.
     pub fn delete(&self, name: &str) {
-        self.inner.borrow_mut().delete(name);
+        self.inner.lock().unwrap().delete(name);
     }
 }
 

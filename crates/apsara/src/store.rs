@@ -10,9 +10,8 @@
 //! claim — checkpoints happen only on job submit/stop, snapshots only on
 //! instance status change.
 
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 #[derive(Debug, Default)]
 /// Checkpointstore.
@@ -82,10 +81,11 @@ impl CheckpointStore {
     }
 }
 
-/// Cloneable handle to a shared [`CheckpointStore`].
+/// Cloneable handle to a shared [`CheckpointStore`]. `Arc<Mutex>`-backed
+/// so one handle serves the kernel and the live runtime alike.
 #[derive(Debug, Clone, Default)]
 pub struct StoreHandle {
-    inner: Rc<RefCell<CheckpointStore>>,
+    inner: Arc<Mutex<CheckpointStore>>,
 }
 
 impl StoreHandle {
@@ -96,7 +96,7 @@ impl StoreHandle {
 
     /// Put.
     pub fn put(&self, key: &str, value: Vec<u8>) {
-        self.inner.borrow_mut().put(key, value);
+        self.inner.lock().unwrap().put(key, value);
     }
 
     /// Put json.
@@ -107,7 +107,7 @@ impl StoreHandle {
 
     /// Get.
     pub fn get(&self, key: &str) -> Option<Vec<u8>> {
-        self.inner.borrow_mut().get(key)
+        self.inner.lock().unwrap().get(key)
     }
 
     /// Get json.
@@ -118,32 +118,32 @@ impl StoreHandle {
 
     /// Delete.
     pub fn delete(&self, key: &str) {
-        self.inner.borrow_mut().delete(key);
+        self.inner.lock().unwrap().delete(key);
     }
 
     /// Contains.
     pub fn contains(&self, key: &str) -> bool {
-        self.inner.borrow().contains(key)
+        self.inner.lock().unwrap().contains(key)
     }
 
     /// Keys with prefix.
     pub fn keys_with_prefix(&self, prefix: &str) -> Vec<String> {
-        self.inner.borrow().keys_with_prefix(prefix)
+        self.inner.lock().unwrap().keys_with_prefix(prefix)
     }
 
     /// Writes.
     pub fn writes(&self) -> u64 {
-        self.inner.borrow().writes()
+        self.inner.lock().unwrap().writes()
     }
 
     /// Reads.
     pub fn reads(&self) -> u64 {
-        self.inner.borrow().reads()
+        self.inner.lock().unwrap().reads()
     }
 
     /// Bytes written.
     pub fn bytes_written(&self) -> u64 {
-        self.inner.borrow().bytes_written()
+        self.inner.lock().unwrap().bytes_written()
     }
 }
 

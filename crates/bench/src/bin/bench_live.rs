@@ -1,0 +1,231 @@
+//! Live-runtime throughput benchmark: stands up a full Fuxi stack on OS
+//! threads (`fuxi-rt`), streams synthetic jobs through it, kills the
+//! primary FuxiMaster mid-run, and writes `BENCH_live.json` with
+//! jobs/sec, messages/sec, and scheduling-decision latency percentiles.
+//!
+//! Usage:
+//! ```text
+//! cargo run --release -p fuxi-bench --bin bench_live -- \
+//!     [--machines 200] [--jobs 1000] [--seed 2014] [--concurrent 64] \
+//!     [--timeout 600] [--out BENCH_live.json] [--no-kill]
+//! ```
+//!
+//! Exits non-zero when the run does not complete every job, when the
+//! standby fails to take over after the master kill, or on any actor
+//! panic (propagated at shutdown).
+
+use fuxi_cluster::{ClusterConfig, SubmitOpts};
+use fuxi_core::master::MasterConfig;
+use fuxi_rt::LiveCluster;
+use fuxi_sim::SimDuration;
+use fuxi_workloads::mapreduce::{wordcount_job, MapReduceParams};
+use std::time::{Duration, Instant};
+
+struct LiveArgs {
+    machines: usize,
+    jobs: usize,
+    seed: u64,
+    concurrent: usize,
+    timeout_s: u64,
+    out: String,
+    kill_master: bool,
+}
+
+fn parse_args() -> LiveArgs {
+    let mut a = LiveArgs {
+        machines: 200,
+        jobs: 1000,
+        seed: 2014,
+        concurrent: 64,
+        timeout_s: 600,
+        out: "BENCH_live.json".to_owned(),
+        kill_master: true,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let num = |j: usize| argv.get(j).and_then(|v| v.parse::<u64>().ok());
+        match argv[i].as_str() {
+            "--machines" => {
+                a.machines = num(i + 1).map_or(a.machines, |v| v as usize);
+                i += 2;
+            }
+            "--jobs" => {
+                a.jobs = num(i + 1).map_or(a.jobs, |v| v as usize);
+                i += 2;
+            }
+            "--seed" => {
+                a.seed = num(i + 1).unwrap_or(a.seed);
+                i += 2;
+            }
+            "--concurrent" => {
+                a.concurrent = num(i + 1).map_or(a.concurrent, |v| v as usize);
+                i += 2;
+            }
+            "--timeout" => {
+                a.timeout_s = num(i + 1).unwrap_or(a.timeout_s);
+                i += 2;
+            }
+            "--out" => {
+                a.out = argv.get(i + 1).cloned().unwrap_or(a.out);
+                i += 2;
+            }
+            "--no-kill" => {
+                a.kill_master = false;
+                i += 1;
+            }
+            other => {
+                eprintln!("ignoring unknown argument {other}");
+                i += 1;
+            }
+        }
+    }
+    a
+}
+
+/// A small job so a thousand of them finish in CI time: 6 maps, 2
+/// reduces, ~60 ms instances, a few MB of binary to keep the package
+/// flow path exercised without dominating wall time.
+fn live_job(seed: u64, i: usize) -> fuxi_job::JobDesc {
+    wordcount_job(&MapReduceParams {
+        maps: 6,
+        reduces: 2,
+        map_duration_s: 0.06,
+        reduce_duration_s: 0.06,
+        jitter: 0.2,
+        max_workers: 4,
+        binary_mb: 4.0,
+        map_output_mb: 1.0,
+        output_file: Some(format!("pangu://live/out-{seed}-{i}")),
+        ..Default::default()
+    })
+}
+
+fn main() {
+    fuxi_bench::warn_if_debug();
+    let args = parse_args();
+    // Short lease so the standby takes over within a couple of seconds of
+    // the live master kill (defaults are tuned for simulated hours).
+    let master = MasterConfig {
+        lease_ttl: SimDuration::from_secs_f64(1.5),
+        keepalive_interval: SimDuration::from_secs_f64(0.5),
+        ..MasterConfig::default()
+    };
+    let mut c = LiveCluster::new(ClusterConfig {
+        n_machines: args.machines,
+        rack_size: 50.min(args.machines.max(1)),
+        seed: args.seed,
+        master,
+        standby_master: true,
+        ..ClusterConfig::default()
+    });
+    eprintln!(
+        "bench_live: {} machines, {} jobs ({} in flight), master kill: {}",
+        args.machines, args.jobs, args.concurrent, args.kill_master
+    );
+
+    let start = Instant::now();
+    let deadline = start + Duration::from_secs(args.timeout_s);
+    let mut submitted = 0usize;
+    let kill_at = args.jobs / 4; // kill once the pipeline is warm
+    let mut killed_master = None;
+    let mut failover_recovered = !args.kill_master;
+    let mut timed_out = false;
+
+    while c.finished_count() < args.jobs {
+        while submitted < args.jobs && submitted - c.finished_count() < args.concurrent {
+            let desc = live_job(args.seed, submitted);
+            c.submit(&desc, &SubmitOpts::default());
+            submitted += 1;
+        }
+        if args.kill_master && killed_master.is_none() && c.finished_count() >= kill_at {
+            killed_master = c.current_master();
+            if let Some(fm) = killed_master {
+                eprintln!(
+                    "bench_live: killing primary master a{} at {:.1}s ({} jobs done)",
+                    fm.0,
+                    start.elapsed().as_secs_f64(),
+                    c.finished_count()
+                );
+                c.kill_primary_master();
+            }
+        }
+        if let Some(old) = killed_master {
+            if !failover_recovered {
+                if let Some(now_master) = c.current_master() {
+                    if now_master != old {
+                        eprintln!(
+                            "bench_live: standby a{} took over at {:.1}s",
+                            now_master.0,
+                            start.elapsed().as_secs_f64()
+                        );
+                        failover_recovered = true;
+                    }
+                }
+            }
+        }
+        if Instant::now() > deadline {
+            timed_out = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let elapsed_s = start.elapsed().as_secs_f64();
+
+    let all = c.all_jobs();
+    let completed = all.iter().filter(|(_, s)| s.done.is_some()).count();
+    let failed = all
+        .iter()
+        .filter(|(_, s)| matches!(s.done, Some((false, _, _))))
+        .count();
+    let (metrics, _tracer) = c.shutdown();
+
+    let msgs = metrics.counter("net.sent");
+    let (p50, p99) = metrics
+        .histogram("fm.sched_s")
+        .map_or((0.0, 0.0), |h| (h.quantile(0.5), h.quantile(0.99)));
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"machines\": {},\n  \"jobs\": {},\n  \"completed\": {},\n",
+            "  \"failed\": {},\n  \"elapsed_s\": {:.3},\n",
+            "  \"jobs_per_sec\": {:.3},\n  \"msgs_per_sec\": {:.1},\n",
+            "  \"sched_p50_s\": {:.6},\n  \"sched_p99_s\": {:.6},\n",
+            "  \"mailbox_hwm\": {},\n  \"mailbox_parked\": {},\n",
+            "  \"master_killed\": {},\n  \"failover_recovered\": {}\n",
+            "}}\n"
+        ),
+        args.machines,
+        args.jobs,
+        completed,
+        failed,
+        elapsed_s,
+        completed as f64 / elapsed_s.max(1e-9),
+        msgs as f64 / elapsed_s.max(1e-9),
+        p50,
+        p99,
+        metrics.gauge("rt.mailbox_hwm"),
+        metrics.counter("rt.mailbox_parked"),
+        killed_master.is_some(),
+        failover_recovered,
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_live.json");
+    println!("{json}");
+    eprintln!("bench_live: wrote {}", args.out);
+
+    if timed_out {
+        eprintln!(
+            "bench_live: FAIL — timed out after {}s with {completed}/{} jobs done",
+            args.timeout_s, args.jobs
+        );
+        std::process::exit(1);
+    }
+    if !failover_recovered {
+        eprintln!("bench_live: FAIL — standby never took over after master kill");
+        std::process::exit(1);
+    }
+    if completed < args.jobs {
+        eprintln!("bench_live: FAIL — only {completed}/{} jobs completed", args.jobs);
+        std::process::exit(1);
+    }
+}

@@ -13,9 +13,8 @@ use fuxi_sim::{
     Actor, ActorId, Ctx, MachineConfig, NetConfig, SimDuration, SimTime, TraceId, TracerConfig,
     World, WorldConfig,
 };
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 
 /// Cluster-wide configuration.
 #[derive(Clone)]
@@ -94,7 +93,7 @@ pub struct JobState {
     pub done: Option<(bool, f64, String)>,
 }
 
-type ClientLog = Rc<RefCell<BTreeMap<JobId, JobState>>>;
+type ClientLog = Arc<Mutex<BTreeMap<JobId, JobState>>>;
 
 /// The client actor: submits jobs to the current master (retrying across
 /// failovers) and records outcomes.
@@ -112,7 +111,7 @@ impl Actor<Msg> for Client {
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, msg: Msg) {
         match msg {
             Msg::SubmitJob { job, desc, .. } => {
-                self.log.borrow_mut().entry(job).or_insert(JobState {
+                self.log.lock().unwrap().entry(job).or_insert(JobState {
                     submitted_s: ctx.now().as_secs_f64(),
                     ..Default::default()
                 });
@@ -129,7 +128,7 @@ impl Actor<Msg> for Client {
                 }
             }
             Msg::JobAccepted { job, .. } => {
-                if let Some(st) = self.log.borrow_mut().get_mut(&job) {
+                if let Some(st) = self.log.lock().unwrap().get_mut(&job) {
                     st.accepted = true;
                 }
                 self.pending.remove(&job);
@@ -140,7 +139,7 @@ impl Actor<Msg> for Client {
                 message,
                 ..
             } => {
-                if let Some(st) = self.log.borrow_mut().get_mut(&job) {
+                if let Some(st) = self.log.lock().unwrap().get_mut(&job) {
                     st.done = Some((success, ctx.now().as_secs_f64(), message));
                 }
             }
@@ -206,7 +205,7 @@ pub struct Cluster {
     /// Shared DFS model.
     pub pangu: PanguHandle,
     /// Cluster topology.
-    pub topo: Rc<Topology>,
+    pub topo: Arc<Topology>,
     /// Lock-service actor.
     pub lock: ActorId,
     /// FuxiMaster actors spawned (primary and standbys).
@@ -234,7 +233,7 @@ impl Cluster {
             if rem > 0 {
                 b = b.add_rack(vec![cfg.machine_spec.clone(); rem]);
             }
-            Rc::new(b.build())
+            Arc::new(b.build())
         };
         let machines: Vec<MachineConfig> = topo
             .machines()
@@ -258,12 +257,12 @@ impl Cluster {
 
         // Factories: the simulation counterpart of downloaded binaries.
         let worker_cfg = cfg.jm.worker.clone();
-        let worker_factory: WorkerFactory = Rc::new(move |launch: &WorkerLaunch| {
+        let worker_factory: WorkerFactory = Arc::new(move |launch: &WorkerLaunch| {
             Box::new(TaskWorker::from_spec(&launch.spec, worker_cfg.clone()))
         });
         let jm_cfg = cfg.jm.clone();
         let (n2, s2, p2, t2) = (naming.clone(), store.clone(), pangu.clone(), topo.clone());
-        let master_factory: MasterFactory = Rc::new(move |launch: &MasterLaunch| {
+        let master_factory: MasterFactory = Arc::new(move |launch: &MasterLaunch| {
             Box::new(JobMaster::new(
                 launch.app,
                 launch.job,
@@ -311,7 +310,7 @@ impl Cluster {
             agents.push(a);
         }
 
-        let log: ClientLog = Rc::new(RefCell::new(BTreeMap::new()));
+        let log: ClientLog = Arc::new(Mutex::new(BTreeMap::new()));
         let client = world.spawn(
             None,
             Box::new(Client {
@@ -378,27 +377,29 @@ impl Cluster {
 
     /// Job state.
     pub fn job_state(&self, job: JobId) -> Option<JobState> {
-        self.log.borrow().get(&job).cloned()
+        self.log.lock().unwrap().get(&job).cloned()
     }
 
     /// `Some((success, finish_time_s))` once the job reached a terminal
     /// state.
     pub fn job_done(&self, job: JobId) -> Option<(bool, f64)> {
         self.log
-            .borrow()
+            .lock()
+            .unwrap()
             .get(&job)
             .and_then(|st| st.done.as_ref().map(|&(ok, t, _)| (ok, t)))
     }
 
     /// Finished count.
     pub fn finished_count(&self) -> usize {
-        self.log.borrow().values().filter(|s| s.done.is_some()).count()
+        self.log.lock().unwrap().values().filter(|s| s.done.is_some()).count()
     }
 
     /// All jobs.
     pub fn all_jobs(&self) -> Vec<(JobId, JobState)> {
         self.log
-            .borrow()
+            .lock()
+            .unwrap()
             .iter()
             .map(|(&j, s)| (j, s.clone()))
             .collect()
@@ -422,7 +423,8 @@ impl Cluster {
     pub fn run_until_job_done(&mut self, job: JobId, deadline: SimTime) -> Option<(bool, f64)> {
         let log = self.log.clone();
         self.world.run_until_cond(deadline, move |_| {
-            log.borrow()
+            log.lock()
+            .unwrap()
                 .get(&job)
                 .map(|s| s.done.is_some())
                 .unwrap_or(false)
@@ -442,7 +444,7 @@ impl Cluster {
     pub fn run_until_n_done(&mut self, n: usize, deadline: SimTime) -> usize {
         let log = self.log.clone();
         self.world.run_until_cond(deadline, move |_| {
-            log.borrow().values().filter(|s| s.done.is_some()).count() >= n
+            log.lock().unwrap().values().filter(|s| s.done.is_some()).count() >= n
         });
         self.finished_count()
     }

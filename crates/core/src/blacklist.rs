@@ -22,7 +22,8 @@ use fuxi_sim::{SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// A pluggable health check producing a score in [0, 1] (1 = healthy).
-pub trait HealthPlugin {
+/// `Send` so a FuxiMaster holding plugins can run on a live-runtime thread.
+pub trait HealthPlugin: Send {
     /// Short identifier of this plugin.
     fn name(&self) -> &'static str;
     /// Health score in [0, 1] derived from the report.

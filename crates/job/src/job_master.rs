@@ -25,7 +25,7 @@ use fuxi_proto::{
 use fuxi_sim::{Actor, ActorId, Ctx, SimDuration, SimTime, TraceEvent, TraceId};
 use rand::Rng;
 use std::collections::{BTreeMap, BTreeSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// JobMaster tuning.
 #[derive(Debug, Clone)]
@@ -107,7 +107,7 @@ pub struct JobMaster {
     naming: NameRegistry,
     store: StoreHandle,
     pangu: PanguHandle,
-    topo: Rc<Topology>,
+    topo: Arc<Topology>,
     payload: String,
     master_resource: ResourceVec,
     fm: Option<ActorId>,
@@ -147,7 +147,7 @@ impl JobMaster {
         naming: NameRegistry,
         store: StoreHandle,
         pangu: PanguHandle,
-        topo: Rc<Topology>,
+        topo: Arc<Topology>,
         payload: String,
         master_resource: ResourceVec,
     ) -> Self {

@@ -17,17 +17,25 @@ pub struct WorkerConfig {
     /// Progress-report cadence ("all TaskWorkers will periodically report
     /// their status including execution progresses").
     pub report_interval: SimDuration,
+    /// Per-launch process startup cost (binary load, JVM/sandbox init)
+    /// charged before the worker registers with its master. Zero by
+    /// default; the container-reuse ablation sets it to expose the cost
+    /// a launch-per-task (YARN-style) policy pays on every instance.
+    pub startup_overhead_s: f64,
 }
 
 impl Default for WorkerConfig {
     fn default() -> Self {
         Self {
             report_interval: SimDuration::from_secs(10),
+            startup_overhead_s: 0.0,
         }
     }
 }
 
 const TIMER_REPORT: u64 = 1;
+/// Fires once when a configured process-startup overhead elapses.
+const TIMER_STARTUP: u64 = 2;
 /// Compute/write completion timers carry the execution generation in the
 /// low bits so stale timers from an aborted instance are ignored.
 const TIMER_COMPUTE_BASE: u64 = 1 << 32;
@@ -198,11 +206,11 @@ impl TaskWorker {
     }
 }
 
-impl Actor<Msg> for TaskWorker {
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        self.trace = ctx.trace_id();
-        // Appear in the machine's process table so a restarted agent can
-        // adopt this worker (Section 4.3.1).
+impl TaskWorker {
+    /// The process is up: appear in the machine's process table (so a
+    /// restarted agent can adopt this worker, Section 4.3.1) and register
+    /// with the master.
+    fn come_online(&mut self, ctx: &mut Ctx<'_, Msg>) {
         let meta = ProcMeta::Worker {
             app: self.app,
             worker: self.worker,
@@ -222,6 +230,21 @@ impl Actor<Msg> for TaskWorker {
             },
         );
         ctx.timer(self.cfg.report_interval, TIMER_REPORT);
+    }
+}
+
+impl Actor<Msg> for TaskWorker {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.trace = ctx.trace_id();
+        if self.cfg.startup_overhead_s > 0.0 {
+            // Charge process startup before the worker becomes visible:
+            // registration (and hence the first assignment) waits it out.
+            let speed = ctx.machine_speed(self.machine(ctx)).max(1e-3);
+            let d = SimDuration::from_secs_f64(self.cfg.startup_overhead_s / speed);
+            ctx.timer(d, TIMER_STARTUP);
+        } else {
+            self.come_online(ctx);
+        }
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, from: ActorId, msg: Msg) {
@@ -323,6 +346,10 @@ impl Actor<Msg> for TaskWorker {
             ctx.set_trace(self.trace);
         }
         match tag {
+            TIMER_STARTUP => {
+                ctx.metrics().count("worker.startups_charged", 1);
+                self.come_online(ctx);
+            }
             TIMER_REPORT => {
                 if let Some(exec) = &self.current {
                     let p = self.progress(ctx.now());

@@ -101,6 +101,90 @@ pub fn dump_line(d: &FlightDump) -> String {
     s
 }
 
+// --- wall-clock (live runtime) export -----------------------------------
+//
+// A live run has no simulated time: every record's `t_s` holds wall-clock
+// seconds since the runtime epoch. The wall export makes that explicit by
+// renaming the timestamp keys, so consumers (tracetool) can tell the two
+// apart instead of misreading wall seconds as simulated seconds.
+
+/// One JSONL line for a live-runtime event: the timestamp is wall-clock
+/// seconds since the runtime epoch, keyed `wall_s`; there is no `t_s`.
+pub fn record_line_wall(r: &TraceRecord) -> String {
+    let mut s = String::with_capacity(96);
+    let _ = write!(
+        s,
+        "{{\"kind\":\"event\",\"wall_s\":{:.6},\"actor\":{},\"trace\":{},\"event\":\"{}\"",
+        r.t_s,
+        r.actor,
+        r.trace.0,
+        r.event.name()
+    );
+    r.event.write_json_fields(&mut s);
+    s.push('}');
+    s
+}
+
+/// One JSONL line for a live-runtime span: `t_wall_s` is the wall-clock
+/// start (since the epoch), `wall_s` stays the measured duration.
+pub fn span_line_wall(r: &SpanRecord) -> String {
+    format!(
+        "{{\"kind\":\"span\",\"t_wall_s\":{:.6},\"actor\":{},\"trace\":{},\"span\":\"{}\",\"wall_s\":{:.9}}}",
+        r.t_s,
+        r.actor,
+        r.trace.0,
+        r.kind.name(),
+        r.wall_s
+    )
+}
+
+/// One JSONL line for a live-runtime flight dump (`t_wall_s` trigger time,
+/// ring events in the wall format).
+pub fn dump_line_wall(d: &FlightDump) -> String {
+    let mut s = String::with_capacity(128 + d.total_events() * 96);
+    let _ = write!(
+        s,
+        "{{\"kind\":\"dump\",\"t_wall_s\":{:.6},\"reason\":\"{}\",\"rings\":[",
+        d.t_s,
+        json_escape(d.reason)
+    );
+    for (i, (actor, recs)) in d.rings.iter().enumerate() {
+        if i > 0 {
+            s.push(',');
+        }
+        let _ = write!(s, "{{\"actor\":{actor},\"events\":[");
+        for (j, r) in recs.iter().enumerate() {
+            if j > 0 {
+                s.push(',');
+            }
+            s.push_str(&record_line_wall(r));
+        }
+        s.push_str("]}");
+    }
+    s.push_str("]}");
+    s
+}
+
+/// Full JSONL export of a live-runtime tracer: like [`export_jsonl`] but
+/// every timestamp is wall-clock (`wall_s` on events, `t_wall_s` on spans
+/// and dumps) and no simulated time appears anywhere.
+pub fn export_jsonl_wall(t: &Tracer) -> String {
+    let mut out = String::with_capacity(t.records.len() * 96 + t.spans.len() * 96);
+    for r in &t.records {
+        out.push_str(&record_line_wall(r));
+        out.push('\n');
+    }
+    for s in &t.spans {
+        out.push_str(&span_line_wall(s));
+        out.push('\n');
+    }
+    for d in &t.dumps {
+        out.push_str(&dump_line_wall(d));
+        out.push('\n');
+    }
+    out
+}
+
 /// Chrome/Perfetto `trace_event` JSON (the `{"traceEvents": [...]}`
 /// object form). Spans become `"X"` complete events whose timestamp is
 /// the *simulated* microsecond and whose duration is the measured
@@ -212,6 +296,34 @@ mod tests {
         assert!(line.contains("\"reason\":\"invariant\""));
         assert!(line.contains("\"actor\":3"));
         assert!(line.contains("job_submitted"));
+    }
+
+    #[test]
+    fn wall_export_has_no_sim_time() {
+        let mut t = sample_tracer();
+        t.dump(1.0, "invariant");
+        let out = export_jsonl_wall(&t);
+        assert!(!out.contains("\"t_s\""), "live export must not claim simulated time");
+        let lines: Vec<&str> = out.lines().collect();
+        // 2 sample events + the FlightDumped marker, then 1 span, 1 dump.
+        assert_eq!(lines.len(), 5);
+        assert!(lines[0].contains("\"kind\":\"event\"") && lines[0].contains("\"wall_s\":0.500000"));
+        assert!(lines[3].contains("\"kind\":\"span\"") && lines[3].contains("\"t_wall_s\":0.600000"));
+        assert!(lines[3].contains("\"wall_s\":0.000012000"));
+        assert!(lines[4].contains("\"kind\":\"dump\"") && lines[4].contains("\"t_wall_s\":1.000000"));
+    }
+
+    #[test]
+    fn absorb_merges_and_sorts_streams() {
+        let mut a = sample_tracer();
+        let mut b = Tracer::new(TracerConfig::default());
+        b.record(0.1, 9, TraceId::NONE, TraceEvent::NodeDown { machine: 2 });
+        b.span(0.2, 9, TraceId::NONE, SpanKind::SchedDecision, 5e-6);
+        a.absorb(b);
+        assert_eq!(a.records.len(), 3);
+        assert_eq!(a.spans.len(), 2);
+        assert!(a.records.windows(2).all(|w| w[0].t_s <= w[1].t_s));
+        assert!(a.spans.windows(2).all(|w| w[0].t_s <= w[1].t_s));
     }
 
     #[test]

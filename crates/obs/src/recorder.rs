@@ -218,6 +218,22 @@ impl Tracer {
         self.rings.get(&actor)
     }
 
+    /// Folds another tracer's output into this one. The live runtime gives
+    /// every actor thread its own tracer and merges them at shutdown:
+    /// events, spans, and dumps concatenate and re-sort by timestamp so
+    /// the combined export reads as one time-ordered stream. Flight rings
+    /// are not merged — a thread's ring history is only meaningful inside
+    /// the dumps it already froze.
+    pub fn absorb(&mut self, other: Tracer) {
+        self.records.extend(other.records);
+        self.spans.extend(other.spans);
+        self.dumps.extend(other.dumps);
+        let by_t = |a: f64, b: f64| a.partial_cmp(&b).unwrap_or(std::cmp::Ordering::Equal);
+        self.records.sort_by(|a, b| by_t(a.t_s, b.t_s));
+        self.spans.sort_by(|a, b| by_t(a.t_s, b.t_s));
+        self.dumps.sort_by(|a, b| by_t(a.t_s, b.t_s));
+    }
+
     /// All records carrying `trace`, in recording order. Requires
     /// `log_events`.
     pub fn by_trace(&self, trace: TraceId) -> impl Iterator<Item = &TraceRecord> {

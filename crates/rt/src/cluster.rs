@@ -1,0 +1,331 @@
+//! A fully wired *live* Fuxi cluster: the same production actors the
+//! simulated harness runs — lock service, FuxiMaster pair, one FuxiAgent
+//! per machine, JobMaster/TaskWorker factories, a submitting client — but
+//! on OS threads under [`LiveRuntime`] instead of the kernel.
+//!
+//! The wiring mirrors `fuxi_cluster::Cluster::new` step for step and
+//! reuses its [`ClusterConfig`]/[`SubmitOpts`]/[`JobState`] types, so a
+//! scenario can be expressed once and run on either engine (the sim↔live
+//! parity test does exactly that).
+
+use crate::runtime::{LiveRuntime, RuntimeConfig};
+use fuxi_agent::{FuxiAgent, MasterFactory, MasterLaunch, WorkerFactory, WorkerLaunch};
+use fuxi_apsara::{LockService, NameRegistry, PanguHandle, StoreHandle};
+use fuxi_cluster::{ClusterConfig, JobState, SubmitOpts};
+use fuxi_core::master::FuxiMaster;
+use fuxi_job::job_master::JobMaster;
+use fuxi_job::worker::TaskWorker;
+use fuxi_job::JobDesc;
+use fuxi_proto::msg::AppDescription;
+use fuxi_proto::topology::{Topology, TopologyBuilder};
+use fuxi_proto::{JobId, MachineId, Msg};
+use fuxi_sim::{
+    Actor, ActorId, Ctx, MachineConfig, Metrics, SimDuration, TraceId, Tracer,
+};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+type ClientLog = Arc<Mutex<BTreeMap<JobId, JobState>>>;
+
+/// The live client actor: submits jobs to the current master (retrying
+/// across failovers) and records outcomes. Same protocol as the simulated
+/// harness's client.
+struct Client {
+    naming: NameRegistry,
+    log: ClientLog,
+    pending: BTreeMap<JobId, AppDescription>,
+}
+
+impl Actor<Msg> for Client {
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        ctx.timer(SimDuration::from_secs(2), 1);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_, Msg>, _from: ActorId, msg: Msg) {
+        match msg {
+            Msg::SubmitJob { job, desc, .. } => {
+                self.log.lock().unwrap().entry(job).or_insert(JobState {
+                    submitted_s: ctx.now().as_secs_f64(),
+                    ..Default::default()
+                });
+                self.pending.insert(job, desc.clone());
+                if let Some(fm) = self.naming.master() {
+                    ctx.send(
+                        fm,
+                        Msg::SubmitJob {
+                            job,
+                            desc,
+                            client: ctx.id(),
+                        },
+                    );
+                }
+            }
+            Msg::JobAccepted { job, .. } => {
+                if let Some(st) = self.log.lock().unwrap().get_mut(&job) {
+                    st.accepted = true;
+                }
+                self.pending.remove(&job);
+            }
+            Msg::JobFinished {
+                job,
+                success,
+                message,
+                ..
+            } => {
+                if let Some(st) = self.log.lock().unwrap().get_mut(&job) {
+                    st.done = Some((success, ctx.now().as_secs_f64(), message));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_, Msg>, _tag: u64) {
+        if let Some(fm) = self.naming.master() {
+            for (&job, desc) in &self.pending {
+                ctx.send_traced(
+                    fm,
+                    Msg::SubmitJob {
+                        job,
+                        desc: desc.clone(),
+                        client: ctx.id(),
+                    },
+                    TraceId::from_job(job.0),
+                );
+            }
+        }
+        ctx.timer(SimDuration::from_secs(2), 1);
+    }
+}
+
+/// A fully wired live Fuxi cluster.
+pub struct LiveCluster {
+    /// The live runtime everything runs in.
+    pub rt: LiveRuntime<Msg>,
+    /// Shared name service.
+    pub naming: NameRegistry,
+    /// Shared checkpoint store.
+    pub store: StoreHandle,
+    /// Shared DFS model.
+    pub pangu: PanguHandle,
+    /// Cluster topology.
+    pub topo: Arc<Topology>,
+    /// Lock-service actor.
+    pub lock: ActorId,
+    /// FuxiMaster actors spawned (primary and standbys).
+    pub masters: Vec<ActorId>,
+    /// Agent actor per machine (index = machine id).
+    pub agents: Vec<ActorId>,
+    /// Submitting client's actor address.
+    pub client: ActorId,
+    log: ClientLog,
+    next_job: u32,
+}
+
+impl LiveCluster {
+    /// Boots a live cluster with the same wiring the simulated harness
+    /// builds, driven by the same [`ClusterConfig`].
+    pub fn new(cfg: ClusterConfig) -> Self {
+        let topo = {
+            let mut b = TopologyBuilder::new();
+            let full = cfg.n_machines / cfg.rack_size;
+            let rem = cfg.n_machines % cfg.rack_size;
+            b = b.uniform(full, cfg.rack_size, cfg.machine_spec.clone());
+            if rem > 0 {
+                b = b.add_rack(vec![cfg.machine_spec.clone(); rem]);
+            }
+            Arc::new(b.build())
+        };
+        let machines: Vec<MachineConfig> = topo
+            .machines()
+            .map(|m| MachineConfig {
+                rack: topo.rack_of(m).0,
+                disk_bw_mbps: topo.spec(m).disk_bw_mbps,
+                net_bw_mbps: topo.spec(m).net_bw_mbps,
+            })
+            .collect();
+        let rt: LiveRuntime<Msg> = LiveRuntime::new(RuntimeConfig {
+            machines,
+            seed: cfg.seed,
+            obs: cfg.obs.clone(),
+            ..RuntimeConfig::default()
+        });
+        let naming = NameRegistry::new();
+        let store = StoreHandle::new();
+        let pangu = PanguHandle::new(cfg.seed.wrapping_mul(31).wrapping_add(7));
+
+        let lock = rt.spawn(None, Box::new(LockService::with_defaults()));
+
+        let worker_cfg = cfg.jm.worker.clone();
+        let worker_factory: WorkerFactory = Arc::new(move |launch: &WorkerLaunch| {
+            Box::new(TaskWorker::from_spec(&launch.spec, worker_cfg.clone()))
+        });
+        let jm_cfg = cfg.jm.clone();
+        let (n2, s2, p2, t2) = (naming.clone(), store.clone(), pangu.clone(), topo.clone());
+        let master_factory: MasterFactory = Arc::new(move |launch: &MasterLaunch| {
+            Box::new(JobMaster::new(
+                launch.app,
+                launch.job,
+                jm_cfg.clone(),
+                n2.clone(),
+                s2.clone(),
+                p2.clone(),
+                t2.clone(),
+                launch.desc.payload.clone(),
+                launch.desc.master_resource.clone(),
+            ))
+        });
+
+        let mut masters = Vec::new();
+        let n_masters = if cfg.standby_master { 2 } else { 1 };
+        for _ in 0..n_masters {
+            let m = rt.spawn(
+                None,
+                Box::new(FuxiMaster::new(
+                    cfg.master.clone(),
+                    (*topo).clone(),
+                    naming.clone(),
+                    store.clone(),
+                    lock,
+                )),
+            );
+            masters.push(m);
+        }
+
+        let mut agents = Vec::new();
+        for m in topo.machines() {
+            let a = rt.spawn(
+                Some(m.0),
+                Box::new(FuxiAgent::new(
+                    m,
+                    topo.spec(m).resources.clone(),
+                    cfg.agent.clone(),
+                    naming.clone(),
+                    master_factory.clone(),
+                    worker_factory.clone(),
+                )),
+            );
+            agents.push(a);
+        }
+
+        let log: ClientLog = Arc::new(Mutex::new(BTreeMap::new()));
+        let client = rt.spawn(
+            None,
+            Box::new(Client {
+                naming: naming.clone(),
+                log: log.clone(),
+                pending: BTreeMap::new(),
+            }),
+        );
+
+        Self {
+            rt,
+            naming,
+            store,
+            pangu,
+            topo,
+            lock,
+            masters,
+            agents,
+            client,
+            log,
+            next_job: 1,
+        }
+    }
+
+    /// Submits a job description; returns its id immediately.
+    pub fn submit(&mut self, desc: &JobDesc, opts: &SubmitOpts) -> JobId {
+        let job = JobId(self.next_job);
+        self.next_job += 1;
+        let app_desc = AppDescription {
+            app_type: "fuxi_job".to_owned(),
+            quota_group: opts.quota_group,
+            priority: opts.priority,
+            master_resource: fuxi_proto::ResourceVec::cores_mb(1, 2048),
+            master_package_mb: opts.master_package_mb,
+            payload: desc.to_json(),
+        };
+        self.rt.send_external_traced(
+            self.client,
+            Msg::SubmitJob {
+                job,
+                desc: app_desc,
+                client: self.client,
+            },
+            TraceId::from_job(job.0),
+        );
+        job
+    }
+
+    /// Job state as the client observed it.
+    pub fn job_state(&self, job: JobId) -> Option<JobState> {
+        self.log.lock().unwrap().get(&job).cloned()
+    }
+
+    /// `Some((success, finish_time_s))` once the job reached a terminal
+    /// state.
+    pub fn job_done(&self, job: JobId) -> Option<(bool, f64)> {
+        self.log
+            .lock()
+            .unwrap()
+            .get(&job)
+            .and_then(|st| st.done.as_ref().map(|&(ok, t, _)| (ok, t)))
+    }
+
+    /// Number of jobs in a terminal state.
+    pub fn finished_count(&self) -> usize {
+        self.log
+            .lock()
+            .unwrap()
+            .values()
+            .filter(|s| s.done.is_some())
+            .count()
+    }
+
+    /// All jobs and their client-observed states.
+    pub fn all_jobs(&self) -> Vec<(JobId, JobState)> {
+        self.log
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&j, s)| (j, s.clone()))
+            .collect()
+    }
+
+    /// Blocks until `n` jobs are terminal or `timeout` passes; returns how
+    /// many finished.
+    pub fn wait_n_done(&self, n: usize, timeout: Duration) -> usize {
+        let start = Instant::now();
+        while start.elapsed() < timeout {
+            if self.finished_count() >= n {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.finished_count()
+    }
+
+    /// The actor currently holding the master role.
+    pub fn current_master(&self) -> Option<ActorId> {
+        self.naming.master()
+    }
+
+    /// Kills the current primary FuxiMaster (the paper's
+    /// FuxiMasterFailure fault) — live, mid-run.
+    pub fn kill_primary_master(&self) {
+        if let Some(fm) = self.naming.master() {
+            self.rt.kill_actor(fm);
+        }
+    }
+
+    /// Takes a machine down (NodeDown fault).
+    pub fn kill_machine(&self, m: MachineId) {
+        self.rt.kill_machine(m.0);
+    }
+
+    /// Stops the cluster and returns the merged metrics and tracer.
+    pub fn shutdown(self) -> (Metrics, Tracer) {
+        self.rt.shutdown()
+    }
+}

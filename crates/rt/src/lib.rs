@@ -1,0 +1,29 @@
+#![warn(missing_docs)]
+//! # fuxi-rt
+//!
+//! A live multi-threaded runtime that runs the *unchanged* production
+//! actors — FuxiMaster, FuxiAgent, JobMaster, TaskWorker, the Apsara
+//! services — on OS threads with real clocks. The deterministic kernel in
+//! `fuxi-sim` answers "is the protocol correct"; this crate answers "does
+//! the same code hold up under real concurrency and wall-clock time".
+//!
+//! * [`runtime`] — [`runtime::LiveRuntime`]: thread-per-actor execution,
+//!   bounded mailboxes, a hashed timer wheel and wall-clock flow engine
+//!   on a dedicated clock thread;
+//! * [`cluster`] — [`cluster::LiveCluster`]: the full Fuxi stack wired
+//!   exactly like the simulated harness, driven by the same config;
+//! * [`mailbox`], [`timer`] — the underlying building blocks;
+//! * [`transport`] (feature `tcp-loopback`) — length-prefixed framing
+//!   over `std::net` loopback sockets.
+
+pub mod cluster;
+pub mod mailbox;
+pub mod runtime;
+pub mod timer;
+#[cfg(feature = "tcp-loopback")]
+pub mod transport;
+
+pub use cluster::LiveCluster;
+pub use mailbox::{MailboxGauges, PushOutcome};
+pub use runtime::{LiveRuntime, RuntimeConfig};
+pub use timer::TimerWheel;

@@ -1,0 +1,180 @@
+//! Bounded per-actor mailboxes with backpressure accounting.
+//!
+//! Each live actor owns one mailbox: a `sync_channel` whose bound is the
+//! runtime's backpressure limit. Senders first `try_send`; when the box is
+//! full they park on the blocking path and the stall is counted
+//! (`rt.mailbox_parked`), so overload shows up in metrics instead of as
+//! silent unbounded queues. Depth and high-water mark are tracked with
+//! atomics shared between the sender side and the draining actor thread.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::Arc;
+
+/// Shared depth counters of one mailbox.
+#[derive(Debug, Default)]
+pub struct MailboxGauges {
+    depth: AtomicUsize,
+    hwm: AtomicUsize,
+}
+
+impl MailboxGauges {
+    /// Current queue depth.
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Highest depth ever observed.
+    pub fn hwm(&self) -> usize {
+        self.hwm.load(Ordering::Relaxed)
+    }
+
+    // Depth is incremented BEFORE the channel send: the receiver can only
+    // observe (and decrement for) an element whose increment already
+    // happened, so depth never underflows.
+    fn on_push(&self) {
+        let d = self.depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.hwm.fetch_max(d, Ordering::Relaxed);
+    }
+
+    fn undo_push(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Called by the draining thread after each receive.
+    pub fn on_pop(&self) {
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Outcome of a mailbox push, for the sender's accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushOutcome {
+    /// Enqueued without waiting.
+    Sent,
+    /// Enqueued after parking on a full mailbox.
+    SentParked,
+    /// The receiving actor is gone.
+    Dead,
+}
+
+/// Sending half of a mailbox.
+#[derive(Debug)]
+pub struct MailboxSender<T> {
+    tx: SyncSender<T>,
+    gauges: Arc<MailboxGauges>,
+}
+
+// Manual impl: a derive would wrongly require `T: Clone`.
+impl<T> Clone for MailboxSender<T> {
+    fn clone(&self) -> Self {
+        MailboxSender {
+            tx: self.tx.clone(),
+            gauges: self.gauges.clone(),
+        }
+    }
+}
+
+impl<T> MailboxSender<T> {
+    /// Enqueues `v`, blocking only when the mailbox is full.
+    pub fn push(&self, v: T) -> PushOutcome {
+        self.gauges.on_push();
+        match self.tx.try_send(v) {
+            Ok(()) => PushOutcome::Sent,
+            Err(TrySendError::Disconnected(_)) => {
+                self.gauges.undo_push();
+                PushOutcome::Dead
+            }
+            Err(TrySendError::Full(v)) => {
+                if self.tx.send(v).is_ok() {
+                    PushOutcome::SentParked
+                } else {
+                    self.gauges.undo_push();
+                    PushOutcome::Dead
+                }
+            }
+        }
+    }
+
+    /// Enqueues `v` without ever blocking (the clock thread uses this so a
+    /// stuck actor cannot stall every timer in the runtime). `Err` returns
+    /// the value on a full mailbox for the caller to retry later.
+    pub fn push_nonblocking(&self, v: T) -> Result<PushOutcome, T> {
+        self.gauges.on_push();
+        match self.tx.try_send(v) {
+            Ok(()) => Ok(PushOutcome::Sent),
+            Err(TrySendError::Disconnected(_)) => {
+                self.gauges.undo_push();
+                Ok(PushOutcome::Dead)
+            }
+            Err(TrySendError::Full(v)) => {
+                self.gauges.undo_push();
+                Err(v)
+            }
+        }
+    }
+
+    /// The mailbox's depth gauges.
+    pub fn gauges(&self) -> &Arc<MailboxGauges> {
+        &self.gauges
+    }
+}
+
+/// Creates a bounded mailbox; returns the sender, the receiver for the
+/// actor thread, and the shared gauges.
+pub fn mailbox<T>(capacity: usize) -> (MailboxSender<T>, Receiver<T>, Arc<MailboxGauges>) {
+    let (tx, rx) = std::sync::mpsc::sync_channel(capacity);
+    let gauges = Arc::new(MailboxGauges::default());
+    (
+        MailboxSender {
+            tx,
+            gauges: gauges.clone(),
+        },
+        rx,
+        gauges,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_and_hwm_track_pushes_and_pops() {
+        let (tx, rx, g) = mailbox::<u32>(8);
+        assert_eq!(tx.push(1), PushOutcome::Sent);
+        assert_eq!(tx.push(2), PushOutcome::Sent);
+        assert_eq!(g.depth(), 2);
+        assert_eq!(g.hwm(), 2);
+        rx.recv().unwrap();
+        g.on_pop();
+        assert_eq!(g.depth(), 1);
+        assert_eq!(g.hwm(), 2, "hwm is sticky");
+    }
+
+    #[test]
+    fn nonblocking_push_reports_full() {
+        let (tx, _rx, _) = mailbox::<u32>(1);
+        assert_eq!(tx.push_nonblocking(1), Ok(PushOutcome::Sent));
+        assert_eq!(tx.push_nonblocking(2), Err(2));
+    }
+
+    #[test]
+    fn push_to_dropped_receiver_is_dead() {
+        let (tx, rx, _) = mailbox::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.push(1), PushOutcome::Dead);
+    }
+
+    #[test]
+    fn full_mailbox_parks_then_delivers() {
+        let (tx, rx, g) = mailbox::<u32>(1);
+        assert_eq!(tx.push(1), PushOutcome::Sent);
+        let t = std::thread::spawn(move || tx.push(2));
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        g.on_pop();
+        assert_eq!(t.join().unwrap(), PushOutcome::SentParked);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+}

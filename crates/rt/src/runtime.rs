@@ -1,0 +1,972 @@
+//! The live runtime: every actor on its own OS thread, timers on a real
+//! clock, mailboxes as bounded MPSC channels.
+//!
+//! The same actor code that runs under the deterministic kernel runs here
+//! unchanged — handlers see a [`Ctx`] whose live backend is implemented by
+//! [`ThreadCtx`] below. What changes is the execution substrate:
+//!
+//! * **Delivery** is a bounded `sync_channel` per actor. A given sender's
+//!   messages to a given destination arrive in send order (the kernel's
+//!   per-source FIFO guarantee, restricted to each destination pair); there
+//!   is no global order across destinations.
+//! * **Timers** live in a hashed [`TimerWheel`] owned by one clock thread,
+//!   which also drives the shared [`FlowNet`] I/O model on wall time.
+//! * **Observability** is per-thread: each actor thread owns a `Metrics`
+//!   and a `Tracer` (so the hot path takes no locks) which the runtime
+//!   merges into one stream at shutdown.
+//!
+//! Determinism is deliberately traded away: two runs of the same workload
+//! interleave differently. The sim↔live parity test pins down what must
+//! still agree — terminal job outcomes, not schedules.
+
+use crate::mailbox::{mailbox, MailboxGauges, MailboxSender, PushOutcome};
+use crate::timer::TimerWheel;
+use fuxi_sim::{
+    Actor, ActorId, FlowNet, FlowSpec, KernelMsg, LiveCtxOps, MachineConfig, Metrics, SimDuration,
+    SimTime,
+};
+use fuxi_sim::{Ctx, TracerConfig};
+use fuxi_obs::{SpanKind, TraceEvent, TraceId, Tracer};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Live-runtime construction parameters.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Hardware description per machine (same shape the kernel takes).
+    pub machines: Vec<MachineConfig>,
+    /// Seed from which every actor thread's RNG is derived.
+    pub seed: u64,
+    /// Observability configuration applied to each per-thread tracer.
+    pub obs: TracerConfig,
+    /// Mailbox bound: senders park (and are counted) beyond this depth.
+    pub mailbox_capacity: usize,
+    /// Timer-wheel granularity.
+    pub timer_tick: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            machines: Vec::new(),
+            seed: 1,
+            obs: TracerConfig::default(),
+            mailbox_capacity: 8192,
+            timer_tick: Duration::from_millis(2),
+        }
+    }
+}
+
+/// What lands in an actor's mailbox.
+enum Envelope<M> {
+    /// Run `on_start` under the spawner's trace.
+    Start { trace: TraceId },
+    /// Deliver a message; the envelope carries the causal trace like the
+    /// kernel's delivery events do.
+    Msg {
+        from: ActorId,
+        msg: M,
+        trace: TraceId,
+    },
+    /// Fire `on_timer(tag)`.
+    Timer { tag: u64 },
+    /// Terminate the actor thread.
+    Kill,
+}
+
+/// Commands to the clock thread.
+enum ClockCmd<M> {
+    Timer {
+        actor: ActorId,
+        delay: SimDuration,
+        tag: u64,
+    },
+    DelayedSend {
+        from: ActorId,
+        to: ActorId,
+        msg: M,
+        delay: SimDuration,
+        trace: TraceId,
+    },
+    StartFlow {
+        owner: ActorId,
+        spec: FlowSpec,
+    },
+    CancelFlows {
+        owner: ActorId,
+    },
+    FailMachine {
+        m: u32,
+    },
+    SetIoSpeed {
+        m: u32,
+        factor: f64,
+    },
+    Shutdown,
+}
+
+/// What the wheel holds: a due timer or a due delayed delivery.
+enum Due<M> {
+    Timer { actor: ActorId, tag: u64 },
+    Send {
+        from: ActorId,
+        to: ActorId,
+        msg: M,
+        trace: TraceId,
+    },
+}
+
+/// What an actor thread returns at exit: its accumulated observability.
+type ActorJoin = JoinHandle<(Metrics, Tracer)>;
+
+struct ActorSlot<M> {
+    sender: Option<MailboxSender<Envelope<M>>>,
+    machine: Option<u32>,
+    alive: bool,
+    gauges: Arc<MailboxGauges>,
+    handle: Option<ActorJoin>,
+}
+
+struct MachineState {
+    up: bool,
+    speed: f64,
+    launch_ok: bool,
+    procs: BTreeMap<ActorId, Vec<u8>>,
+}
+
+/// State shared by every thread of one runtime.
+struct Shared<M: KernelMsg + Send> {
+    epoch: Instant,
+    cfg: RuntimeConfig,
+    slots: RwLock<Vec<ActorSlot<M>>>,
+    machines: RwLock<Vec<MachineState>>,
+    clock_tx: Sender<ClockCmd<M>>,
+    /// Runtime-global sinks: fault events, external sends, shutdown merge.
+    metrics: Mutex<Metrics>,
+    tracer: Mutex<Tracer>,
+}
+
+impl<M: KernelMsg + Send + 'static> Shared<M> {
+    fn now(&self) -> SimTime {
+        SimTime(self.epoch.elapsed().as_micros() as u64)
+    }
+
+    /// Clones the destination's sender under the read lock, pushes outside
+    /// it (a parked push must never hold the registry lock).
+    fn push_envelope(&self, to: ActorId, env: Envelope<M>) -> PushOutcome {
+        let sender = {
+            let slots = self.slots.read().unwrap();
+            slots
+                .get(to.0 as usize)
+                .filter(|s| s.alive)
+                .and_then(|s| s.sender.clone())
+        };
+        match sender {
+            Some(tx) => tx.push(env),
+            None => PushOutcome::Dead,
+        }
+    }
+
+    fn spawn(self: &Arc<Self>, machine: Option<u32>, actor: Box<dyn Actor<M> + Send>, trace: TraceId) -> ActorId {
+        let (tx, rx, gauges) = mailbox(self.cfg.mailbox_capacity);
+        let id = {
+            let mut slots = self.slots.write().unwrap();
+            let id = ActorId(slots.len() as u32);
+            let shared = Arc::clone(self);
+            let g = Arc::clone(&gauges);
+            let handle = std::thread::Builder::new()
+                .name(format!("fuxi-{id}"))
+                .spawn(move || actor_thread(shared, id, actor, rx, g))
+                .expect("spawn actor thread");
+            slots.push(ActorSlot {
+                sender: Some(tx.clone()),
+                machine,
+                alive: true,
+                gauges,
+                handle: Some(handle),
+            });
+            id
+        };
+        self.metrics.lock().unwrap().count("rt.actors_spawned", 1);
+        tx.push(Envelope::Start { trace });
+        id
+    }
+
+    fn kill(&self, id: ActorId) {
+        let (sender, machine) = {
+            let mut slots = self.slots.write().unwrap();
+            match slots.get_mut(id.0 as usize) {
+                Some(s) if s.alive => {
+                    s.alive = false;
+                    (s.sender.take(), s.machine)
+                }
+                _ => return,
+            }
+        };
+        if let Some(tx) = sender {
+            // Best effort: if the box is full, dropping the last sender
+            // still terminates the thread once it drains.
+            let _ = tx.push_nonblocking(Envelope::Kill);
+        }
+        if let Some(m) = machine {
+            self.machines.write().unwrap()[m as usize].procs.remove(&id);
+        }
+        let _ = self.clock_tx.send(ClockCmd::CancelFlows { owner: id });
+    }
+
+    fn alive(&self, id: ActorId) -> bool {
+        self.slots
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .is_some_and(|s| s.alive)
+    }
+
+    fn machine_of(&self, id: ActorId) -> Option<u32> {
+        self.slots
+            .read()
+            .unwrap()
+            .get(id.0 as usize)
+            .and_then(|s| s.machine)
+    }
+}
+
+/// One actor's event loop. Runs on a dedicated thread until killed; returns
+/// the thread's metrics and tracer for the shutdown merge.
+fn actor_thread<M: KernelMsg + Send + 'static>(
+    shared: Arc<Shared<M>>,
+    id: ActorId,
+    mut actor: Box<dyn Actor<M> + Send>,
+    rx: Receiver<Envelope<M>>,
+    gauges: Arc<MailboxGauges>,
+) -> (Metrics, Tracer) {
+    let clock_tx = shared.clock_tx.clone();
+    let seed = shared
+        .cfg
+        .seed
+        .wrapping_add(u64::from(id.0).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let obs = shared.cfg.obs.clone();
+    let mut tc = ThreadCtx {
+        shared,
+        clock_tx,
+        rng: SmallRng::seed_from_u64(seed),
+        metrics: Metrics::new(),
+        tracer: Tracer::new(obs),
+        current_trace: TraceId::NONE,
+    };
+    while let Ok(env) = rx.recv() {
+        gauges.on_pop();
+        match env {
+            Envelope::Start { trace } => {
+                tc.current_trace = trace;
+                actor.on_start(&mut Ctx::for_live(&mut tc, id));
+            }
+            Envelope::Msg { from, msg, trace } => {
+                tc.current_trace = trace;
+                actor.on_message(&mut Ctx::for_live(&mut tc, id), from, msg);
+            }
+            Envelope::Timer { tag } => {
+                // Like the kernel: timer-driven activity has no inherited
+                // causal context unless the actor re-establishes it.
+                tc.current_trace = TraceId::NONE;
+                actor.on_timer(&mut Ctx::for_live(&mut tc, id), tag);
+            }
+            Envelope::Kill => break,
+        }
+    }
+    (tc.metrics, tc.tracer)
+}
+
+/// The live backend of a [`Ctx`]: one per actor thread, owning that
+/// thread's RNG, metrics, and tracer.
+struct ThreadCtx<M: KernelMsg + Send + 'static> {
+    shared: Arc<Shared<M>>,
+    clock_tx: Sender<ClockCmd<M>>,
+    rng: SmallRng,
+    metrics: Metrics,
+    tracer: Tracer,
+    current_trace: TraceId,
+}
+
+impl<M: KernelMsg + Send + 'static> LiveCtxOps<M> for ThreadCtx<M> {
+    fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    fn send(&mut self, from: ActorId, to: ActorId, msg: M, extra: SimDuration, trace: TraceId) {
+        self.metrics.count("net.sent", 1);
+        if extra > SimDuration::ZERO {
+            let _ = self.clock_tx.send(ClockCmd::DelayedSend {
+                from,
+                to,
+                msg,
+                delay: extra,
+                trace,
+            });
+            return;
+        }
+        match self.shared.push_envelope(to, Envelope::Msg { from, msg, trace }) {
+            PushOutcome::Sent => {}
+            PushOutcome::SentParked => self.metrics.count("rt.mailbox_parked", 1),
+            PushOutcome::Dead => self.metrics.count("net.to_dead", 1),
+        }
+    }
+
+    fn timer(&mut self, actor: ActorId, delay: SimDuration, tag: u64) {
+        let _ = self.clock_tx.send(ClockCmd::Timer { actor, delay, tag });
+    }
+
+    fn spawn(&mut self, machine: Option<u32>, actor: Box<dyn Actor<M> + Send>) -> ActorId {
+        self.shared.spawn(machine, actor, self.current_trace)
+    }
+
+    fn kill(&mut self, id: ActorId) {
+        self.shared.kill(id);
+    }
+
+    fn alive(&self, id: ActorId) -> bool {
+        self.shared.alive(id)
+    }
+
+    fn machine_of(&self, id: ActorId) -> Option<u32> {
+        self.shared.machine_of(id)
+    }
+
+    fn machine_up(&self, m: u32) -> bool {
+        self.shared
+            .machines
+            .read()
+            .unwrap()
+            .get(m as usize)
+            .is_some_and(|s| s.up)
+    }
+
+    fn machine_speed(&self, m: u32) -> f64 {
+        self.shared
+            .machines
+            .read()
+            .unwrap()
+            .get(m as usize)
+            .map_or(1.0, |s| s.speed)
+    }
+
+    fn launch_ok(&self, m: u32) -> bool {
+        self.shared
+            .machines
+            .read()
+            .unwrap()
+            .get(m as usize)
+            .is_some_and(|s| s.launch_ok)
+    }
+
+    fn rack_of(&self, m: u32) -> u32 {
+        self.shared.cfg.machines[m as usize].rack
+    }
+
+    fn n_machines(&self) -> usize {
+        self.shared.cfg.machines.len()
+    }
+
+    fn register_proc(&mut self, id: ActorId, meta: Vec<u8>) {
+        if let Some(m) = self.shared.machine_of(id) {
+            self.shared.machines.write().unwrap()[m as usize]
+                .procs
+                .insert(id, meta);
+        }
+    }
+
+    fn procs_on(&self, m: u32) -> Vec<(ActorId, Vec<u8>)> {
+        self.shared.machines.read().unwrap()[m as usize]
+            .procs
+            .iter()
+            .map(|(&a, meta)| (a, meta.clone()))
+            .collect()
+    }
+
+    fn start_flow(&mut self, owner: ActorId, spec: FlowSpec) {
+        let _ = self.clock_tx.send(ClockCmd::StartFlow { owner, spec });
+    }
+
+    fn cancel_flows_of(&mut self, owner: ActorId) {
+        let _ = self.clock_tx.send(ClockCmd::CancelFlows { owner });
+    }
+
+    fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+
+    fn metrics(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    fn trace_id(&self) -> TraceId {
+        self.current_trace
+    }
+
+    fn set_trace(&mut self, trace: TraceId) {
+        self.current_trace = trace;
+    }
+
+    fn trace_event_as(&mut self, actor: ActorId, trace: TraceId, event: TraceEvent) {
+        let t = self.shared.now().as_secs_f64();
+        self.tracer.record(t, actor.0, trace, event);
+    }
+
+    fn span(&mut self, actor: ActorId, kind: SpanKind, wall_s: f64) {
+        let t = self.shared.now().as_secs_f64();
+        let trace = self.current_trace;
+        self.tracer.span(t, actor.0, trace, kind, wall_s);
+    }
+
+    fn flight_dump(&mut self, reason: &'static str) {
+        let t = self.shared.now().as_secs_f64();
+        self.tracer.dump(t, reason);
+    }
+
+    fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+}
+
+/// The clock thread: hashed timer wheel plus the shared flow model, both
+/// driven by wall time. Deliveries it owes to full mailboxes are retried on
+/// the next tick rather than blocking (a stuck actor must not stall every
+/// timer in the runtime).
+fn clock_thread<M: KernelMsg + Send + 'static>(
+    shared: Arc<Shared<M>>,
+    rx: Receiver<ClockCmd<M>>,
+) {
+    let tick_us = shared.cfg.timer_tick.as_micros().max(100) as u64;
+    let mut wheel: TimerWheel<Due<M>> = TimerWheel::new(512, tick_us);
+    let disk_bw: Vec<f64> = shared.cfg.machines.iter().map(|m| m.disk_bw_mbps).collect();
+    let net_bw: Vec<f64> = shared.cfg.machines.iter().map(|m| m.net_bw_mbps).collect();
+    let mut flows = FlowNet::new(disk_bw, net_bw);
+    let mut backlog: Vec<(ActorId, Envelope<M>)> = Vec::new();
+
+    let deliver = |shared: &Arc<Shared<M>>,
+                       backlog: &mut Vec<(ActorId, Envelope<M>)>,
+                       to: ActorId,
+                       env: Envelope<M>| {
+        match shared.push_envelope(to, env) {
+            PushOutcome::Sent | PushOutcome::SentParked => {}
+            PushOutcome::Dead => {}
+        }
+        let _ = backlog; // retried entries are re-pushed by the caller
+    };
+
+    loop {
+        let now = shared.now();
+        let mut next = now + SimDuration(tick_us);
+        if let Some(fc) = flows.next_completion() {
+            if fc < next {
+                next = fc.max(now);
+            }
+        }
+        let wait = Duration::from_micros((next.0.saturating_sub(now.0)).max(100));
+        let mut shutdown = false;
+        let mut first = match rx.recv_timeout(wait) {
+            Ok(cmd) => Some(cmd),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+        // Drain whatever queued up behind the first command.
+        loop {
+            let Some(cmd) = first.take() else { break };
+            let now = shared.now();
+            match cmd {
+                ClockCmd::Shutdown => shutdown = true,
+                ClockCmd::Timer { actor, delay, tag } => {
+                    wheel.arm(now, delay, Due::Timer { actor, tag })
+                }
+                ClockCmd::DelayedSend {
+                    from,
+                    to,
+                    msg,
+                    delay,
+                    trace,
+                } => wheel.arm(now, delay, Due::Send { from, to, msg, trace }),
+                ClockCmd::StartFlow { owner, spec } => {
+                    if let Some(done) = flows.start(now, owner, spec) {
+                        // Degenerate (zero-size) flow: completes immediately.
+                        let env = Envelope::Msg {
+                            from: done.owner,
+                            msg: M::flow_done(done.tag, done.failed),
+                            trace: TraceId::NONE,
+                        };
+                        deliver(&shared, &mut backlog, done.owner, env);
+                    }
+                }
+                ClockCmd::CancelFlows { owner } => flows.cancel_owned_by(now, owner),
+                ClockCmd::FailMachine { m } => {
+                    for done in flows.fail_machine(now, m) {
+                        let env = Envelope::Msg {
+                            from: done.owner,
+                            msg: M::flow_done(done.tag, done.failed),
+                            trace: TraceId::NONE,
+                        };
+                        deliver(&shared, &mut backlog, done.owner, env);
+                    }
+                }
+                ClockCmd::SetIoSpeed { m, factor } => flows.set_speed(now, m, factor),
+            }
+            first = rx.try_recv().ok();
+        }
+        if shutdown {
+            return;
+        }
+
+        let now = shared.now();
+        // Retry deliveries parked on full mailboxes.
+        if !backlog.is_empty() {
+            let pending = std::mem::take(&mut backlog);
+            for (to, env) in pending {
+                let sender = {
+                    let slots = shared.slots.read().unwrap();
+                    slots
+                        .get(to.0 as usize)
+                        .filter(|s| s.alive)
+                        .and_then(|s| s.sender.clone())
+                };
+                if let Some(tx) = sender {
+                    if let Err(env) = tx.push_nonblocking(env) {
+                        backlog.push((to, env));
+                    }
+                }
+            }
+        }
+        for due in wheel.expire(now) {
+            let (to, env) = match due {
+                Due::Timer { actor, tag } => (actor, Envelope::Timer { tag }),
+                Due::Send {
+                    from, to, msg, trace,
+                } => (to, Envelope::Msg { from, msg, trace }),
+            };
+            let sender = {
+                let slots = shared.slots.read().unwrap();
+                slots
+                    .get(to.0 as usize)
+                    .filter(|s| s.alive)
+                    .and_then(|s| s.sender.clone())
+            };
+            if let Some(tx) = sender {
+                if let Err(env) = tx.push_nonblocking(env) {
+                    shared.metrics.lock().unwrap().count("rt.clock_parked", 1);
+                    backlog.push((to, env));
+                }
+            }
+        }
+        for done in flows.advance(now) {
+            let env = Envelope::Msg {
+                from: done.owner,
+                msg: M::flow_done(done.tag, done.failed),
+                trace: TraceId::NONE,
+            };
+            deliver(&shared, &mut backlog, done.owner, env);
+        }
+    }
+}
+
+/// A running live world. Dropping it without [`LiveRuntime::shutdown`]
+/// detaches the threads; call `shutdown` to join them and collect the
+/// merged observability streams.
+pub struct LiveRuntime<M: KernelMsg + Send + 'static> {
+    shared: Arc<Shared<M>>,
+    clock: Option<JoinHandle<()>>,
+}
+
+impl<M: KernelMsg + Send + 'static> LiveRuntime<M> {
+    /// Boots the runtime: machine table, clock thread, no actors yet.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        let (clock_tx, clock_rx) = std::sync::mpsc::channel();
+        let machines = cfg
+            .machines
+            .iter()
+            .map(|_| MachineState {
+                up: true,
+                speed: 1.0,
+                launch_ok: true,
+                procs: BTreeMap::new(),
+            })
+            .collect();
+        let shared = Arc::new(Shared {
+            epoch: Instant::now(),
+            cfg,
+            slots: RwLock::new(Vec::new()),
+            machines: RwLock::new(machines),
+            clock_tx,
+            metrics: Mutex::new(Metrics::new()),
+            tracer: Mutex::new(Tracer::default()),
+        });
+        let clock = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("fuxi-clock".into())
+                .spawn(move || clock_thread(shared, clock_rx))
+                .expect("spawn clock thread")
+        };
+        LiveRuntime {
+            shared,
+            clock: Some(clock),
+        }
+    }
+
+    /// Wall-clock time since the runtime epoch.
+    pub fn now(&self) -> SimTime {
+        self.shared.now()
+    }
+
+    /// Spawns an actor on its own thread, optionally placed on a machine.
+    pub fn spawn(&self, machine: Option<u32>, actor: Box<dyn Actor<M> + Send>) -> ActorId {
+        self.shared.spawn(machine, actor, TraceId::NONE)
+    }
+
+    /// Injects a message from outside the world under `trace`.
+    pub fn send_external_traced(&self, to: ActorId, msg: M, trace: TraceId) {
+        self.shared.metrics.lock().unwrap().count("net.sent", 1);
+        let _ = self.shared.push_envelope(
+            to,
+            Envelope::Msg {
+                from: ActorId::NONE,
+                msg,
+                trace,
+            },
+        );
+    }
+
+    /// Injects an untraced external message.
+    pub fn send_external(&self, to: ActorId, msg: M) {
+        self.send_external_traced(to, msg, TraceId::NONE);
+    }
+
+    /// Terminates one actor (its thread exits after draining its mailbox).
+    pub fn kill_actor(&self, id: ActorId) {
+        self.shared.kill(id);
+    }
+
+    /// `true` while `id`'s thread is accepting messages.
+    pub fn alive(&self, id: ActorId) -> bool {
+        self.shared.alive(id)
+    }
+
+    /// `true` if machine `m` is up.
+    pub fn machine_up(&self, m: u32) -> bool {
+        self.shared.machines.read().unwrap()[m as usize].up
+    }
+
+    /// Machine `m`'s process table.
+    pub fn procs_on(&self, m: u32) -> Vec<(ActorId, Vec<u8>)> {
+        self.shared.machines.read().unwrap()[m as usize]
+            .procs
+            .iter()
+            .map(|(&a, meta)| (a, meta.clone()))
+            .collect()
+    }
+
+    /// Takes machine `m` down: every actor placed on it dies, its process
+    /// table clears, and flows touching it fail (the NodeDown fault).
+    pub fn kill_machine(&self, m: u32) {
+        {
+            let mut machines = self.shared.machines.write().unwrap();
+            machines[m as usize].up = false;
+            machines[m as usize].procs.clear();
+        }
+        let victims: Vec<ActorId> = {
+            let slots = self.shared.slots.read().unwrap();
+            slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.alive && s.machine == Some(m))
+                .map(|(i, _)| ActorId(i as u32))
+                .collect()
+        };
+        for id in victims {
+            self.shared.kill(id);
+        }
+        let _ = self.shared.clock_tx.send(ClockCmd::FailMachine { m });
+        let t = self.shared.now().as_secs_f64();
+        self.shared.metrics.lock().unwrap().count("fault.node_down", 1);
+        self.shared.tracer.lock().unwrap().record(
+            t,
+            u32::MAX,
+            TraceId::NONE,
+            TraceEvent::NodeDown { machine: m },
+        );
+    }
+
+    /// Degrades (or restores) machine `m`'s compute and I/O speed by
+    /// `factor` — the paper's slow-node fault, live. Running flows are
+    /// re-paced from now; new worker startups scale via `machine_speed`.
+    pub fn set_io_speed(&self, m: u32, factor: f64) {
+        self.shared.machines.write().unwrap()[m as usize].speed = factor;
+        let _ = self.shared.clock_tx.send(ClockCmd::SetIoSpeed { m, factor });
+    }
+
+    /// Records mailbox pressure into the runtime metrics: the global
+    /// high-water mark, plus a depth gauge per actor with a non-empty
+    /// queue right now (bounded cardinality under load, nothing at rest).
+    pub fn record_mailbox_gauges(&self) {
+        let slots = self.shared.slots.read().unwrap();
+        let mut metrics = self.shared.metrics.lock().unwrap();
+        let mut hwm = 0usize;
+        for (i, s) in slots.iter().enumerate() {
+            hwm = hwm.max(s.gauges.hwm());
+            let depth = s.gauges.depth();
+            if s.alive && depth > 0 {
+                metrics.gauge_set(&format!("rt.mailbox_depth.a{i}"), depth as f64);
+            }
+        }
+        metrics.gauge_max("rt.mailbox_hwm", hwm as f64);
+    }
+
+    /// Stops everything: kills the actors, joins every thread, and merges
+    /// the per-thread metrics and tracers into the runtime-global pair.
+    pub fn shutdown(mut self) -> (Metrics, Tracer) {
+        self.record_mailbox_gauges();
+        let handles: Vec<Option<ActorJoin>> = {
+            let mut slots = self.shared.slots.write().unwrap();
+            slots
+                .iter_mut()
+                .map(|s| {
+                    s.alive = false;
+                    if let Some(tx) = s.sender.take() {
+                        let _ = tx.push_nonblocking(Envelope::Kill);
+                    }
+                    s.handle.take()
+                })
+                .collect()
+        };
+        let _ = self.shared.clock_tx.send(ClockCmd::Shutdown);
+        if let Some(clock) = self.clock.take() {
+            let _ = clock.join();
+        }
+        let mut metrics = std::mem::take(&mut *self.shared.metrics.lock().unwrap());
+        let mut tracer = std::mem::take(&mut *self.shared.tracer.lock().unwrap());
+        for h in handles.into_iter().flatten() {
+            // A panicked actor thread must not vanish into a clean
+            // shutdown — re-raise so callers (tests, bench_live) fail.
+            match h.join() {
+                Ok((m, t)) => {
+                    metrics.merge(&m);
+                    tracer.absorb(t);
+                }
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        }
+        (metrics, tracer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[derive(Debug)]
+    enum TMsg {
+        Ping(u64),
+        Pong(u64),
+        FlowDone { tag: u64, failed: bool },
+    }
+
+    impl KernelMsg for TMsg {
+        fn flow_done(tag: u64, failed: bool) -> Self {
+            TMsg::FlowDone { tag, failed }
+        }
+    }
+
+    fn two_machine_cfg() -> RuntimeConfig {
+        RuntimeConfig {
+            machines: vec![
+                MachineConfig {
+                    rack: 0,
+                    disk_bw_mbps: 100.0,
+                    net_bw_mbps: 100.0,
+                },
+                MachineConfig {
+                    rack: 0,
+                    disk_bw_mbps: 100.0,
+                    net_bw_mbps: 100.0,
+                },
+            ],
+            ..RuntimeConfig::default()
+        }
+    }
+
+    /// Echoes pings back; counts what it saw into a shared atomic.
+    struct Echo {
+        seen: Arc<AtomicU64>,
+    }
+    impl Actor<TMsg> for Echo {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, TMsg>, from: ActorId, msg: TMsg) {
+            if let TMsg::Ping(n) = msg {
+                self.seen.fetch_add(1, Ordering::SeqCst);
+                ctx.send(from, TMsg::Pong(n));
+            }
+        }
+    }
+
+    /// Sends `n` pings, checks pongs arrive in send order (per-source FIFO).
+    struct Pinger {
+        peer: ActorId,
+        n: u64,
+        next_expected: u64,
+        ordered: Arc<AtomicU64>,
+    }
+    impl Actor<TMsg> for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TMsg>) {
+            for i in 0..self.n {
+                ctx.send(self.peer, TMsg::Ping(i));
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut Ctx<'_, TMsg>, _from: ActorId, msg: TMsg) {
+            if let TMsg::Pong(n) = msg {
+                if n == self.next_expected {
+                    self.next_expected += 1;
+                    self.ordered.store(self.next_expected, Ordering::SeqCst);
+                }
+            }
+        }
+    }
+
+    fn wait_for(cond: impl Fn() -> bool, timeout: Duration) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < timeout {
+            if cond() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        cond()
+    }
+
+    #[test]
+    fn ping_pong_preserves_per_source_order() {
+        let rt: LiveRuntime<TMsg> = LiveRuntime::new(two_machine_cfg());
+        let seen = Arc::new(AtomicU64::new(0));
+        let ordered = Arc::new(AtomicU64::new(0));
+        let echo = rt.spawn(None, Box::new(Echo { seen: seen.clone() }));
+        let n = 500;
+        rt.spawn(
+            None,
+            Box::new(Pinger {
+                peer: echo,
+                n,
+                next_expected: 0,
+                ordered: ordered.clone(),
+            }),
+        );
+        assert!(
+            wait_for(|| ordered.load(Ordering::SeqCst) == n, Duration::from_secs(10)),
+            "pongs arrived out of order or not at all: {}",
+            ordered.load(Ordering::SeqCst)
+        );
+        assert_eq!(seen.load(Ordering::SeqCst), n);
+        let (metrics, _tracer) = rt.shutdown();
+        // Pinger's n pings + echo's n pongs.
+        assert!(metrics.counter("net.sent") >= 2 * n);
+        assert_eq!(metrics.counter("rt.actors_spawned"), 2);
+    }
+
+    /// Timer-driven counter actor.
+    struct Ticker {
+        fired: Arc<AtomicU64>,
+    }
+    impl Actor<TMsg> for Ticker {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TMsg>) {
+            ctx.timer(SimDuration::from_millis(5), 7);
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, TMsg>, _: ActorId, _: TMsg) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, TMsg>, tag: u64) {
+            assert_eq!(tag, 7);
+            if self.fired.fetch_add(1, Ordering::SeqCst) < 4 {
+                ctx.timer(SimDuration::from_millis(5), 7);
+            }
+        }
+    }
+
+    #[test]
+    fn timers_fire_on_wall_clock() {
+        let rt: LiveRuntime<TMsg> = LiveRuntime::new(two_machine_cfg());
+        let fired = Arc::new(AtomicU64::new(0));
+        rt.spawn(None, Box::new(Ticker { fired: fired.clone() }));
+        assert!(
+            wait_for(|| fired.load(Ordering::SeqCst) >= 5, Duration::from_secs(10)),
+            "only {} timer fires",
+            fired.load(Ordering::SeqCst)
+        );
+        rt.shutdown();
+    }
+
+    /// Starts one disk flow and records the completion.
+    struct FlowUser {
+        done: Arc<AtomicU64>,
+    }
+    impl Actor<TMsg> for FlowUser {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, TMsg>) {
+            ctx.start_flow(FlowSpec {
+                kind: fuxi_sim::FlowKind::DiskWrite { machine: 0 },
+                size_mb: 0.5,
+                tag: 42,
+            });
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_, TMsg>, _: ActorId, msg: TMsg) {
+            if let TMsg::FlowDone { tag, failed } = msg {
+                assert_eq!(tag, 42);
+                assert!(!failed);
+                self.done.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    #[test]
+    fn flows_complete_on_wall_clock() {
+        let rt: LiveRuntime<TMsg> = LiveRuntime::new(two_machine_cfg());
+        let done = Arc::new(AtomicU64::new(0));
+        rt.spawn(Some(0), Box::new(FlowUser { done: done.clone() }));
+        // 0.5 MB at 100 MB/s = 5 ms.
+        assert!(
+            wait_for(|| done.load(Ordering::SeqCst) == 1, Duration::from_secs(10)),
+            "flow completion never arrived"
+        );
+        rt.shutdown();
+    }
+
+    #[test]
+    fn kill_machine_kills_placed_actors_only() {
+        let rt: LiveRuntime<TMsg> = LiveRuntime::new(two_machine_cfg());
+        let seen = Arc::new(AtomicU64::new(0));
+        let on0 = rt.spawn(Some(0), Box::new(Echo { seen: seen.clone() }));
+        let on1 = rt.spawn(Some(1), Box::new(Echo { seen: seen.clone() }));
+        let free = rt.spawn(None, Box::new(Echo { seen: seen.clone() }));
+        rt.kill_machine(0);
+        assert!(wait_for(|| !rt.alive(on0), Duration::from_secs(5)));
+        assert!(rt.alive(on1));
+        assert!(rt.alive(free));
+        assert!(!rt.machine_up(0));
+        assert!(rt.machine_up(1));
+        let (metrics, tracer) = rt.shutdown();
+        assert_eq!(metrics.counter("fault.node_down"), 1);
+        assert!(tracer
+            .records
+            .iter()
+            .any(|r| matches!(r.event, TraceEvent::NodeDown { machine: 0 })));
+    }
+
+    #[test]
+    fn shutdown_merges_thread_metrics() {
+        let rt: LiveRuntime<TMsg> = LiveRuntime::new(two_machine_cfg());
+        let seen = Arc::new(AtomicU64::new(0));
+        let echo = rt.spawn(None, Box::new(Echo { seen: seen.clone() }));
+        rt.send_external(echo, TMsg::Ping(1));
+        assert!(wait_for(|| seen.load(Ordering::SeqCst) == 1, Duration::from_secs(5)));
+        let (metrics, _) = rt.shutdown();
+        // External send + echo's pong (to a dead ActorId::NONE).
+        assert!(metrics.counter("net.sent") >= 2);
+        assert!(metrics.gauge("rt.mailbox_hwm") >= 0.0);
+    }
+}

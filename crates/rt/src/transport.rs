@@ -1,0 +1,180 @@
+//! Optional TCP loopback transport (`tcp-loopback` feature).
+//!
+//! Length-prefixed frames over `std::net` sockets, so two live runtimes
+//! (or a runtime and an external driver) can exchange messages across a
+//! real socket instead of an in-process channel. Std-only by design — the
+//! codec is a trait the caller implements, keeping this crate free of
+//! serialization dependencies.
+//!
+//! Frame format: a big-endian `u32` payload length, then the payload.
+//! A zero-length frame is valid (an encoded empty message).
+
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream, ToSocketAddrs};
+
+/// Maximum accepted frame size (guards against a corrupt length prefix).
+pub const MAX_FRAME: u32 = 64 * 1024 * 1024;
+
+/// Encodes messages to bytes and back; implemented by the embedding
+/// application for its message type.
+pub trait WireCodec {
+    /// The message type carried over the wire.
+    type Msg;
+    /// Serializes `msg`.
+    fn encode(&self, msg: &Self::Msg) -> Vec<u8>;
+    /// Deserializes a frame; `None` on malformed input.
+    fn decode(&self, bytes: &[u8]) -> Option<Self::Msg>;
+}
+
+/// Writes one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+    }
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary; an error mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "frame too large"));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// A connected frame channel: send/receive typed messages through a codec.
+pub struct FrameConn<C: WireCodec> {
+    stream: TcpStream,
+    codec: C,
+}
+
+impl<C: WireCodec> FrameConn<C> {
+    /// Wraps an established stream.
+    pub fn new(stream: TcpStream, codec: C) -> Self {
+        FrameConn { stream, codec }
+    }
+
+    /// Connects to a listening peer.
+    pub fn connect(addr: impl ToSocketAddrs, codec: C) -> io::Result<Self> {
+        Ok(FrameConn {
+            stream: TcpStream::connect(addr)?,
+            codec,
+        })
+    }
+
+    /// Sends one message as one frame.
+    pub fn send(&mut self, msg: &C::Msg) -> io::Result<()> {
+        write_frame(&mut self.stream, &self.codec.encode(msg))
+    }
+
+    /// Receives the next message; `Ok(None)` on clean EOF.
+    pub fn recv(&mut self) -> io::Result<Option<C::Msg>> {
+        loop {
+            match read_frame(&mut self.stream)? {
+                None => return Ok(None),
+                Some(payload) => {
+                    // Skip undecodable frames rather than tearing the
+                    // connection down; peers may speak newer dialects.
+                    if let Some(msg) = self.codec.decode(&payload) {
+                        return Ok(Some(msg));
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Binds a loopback listener on an OS-assigned port; returns the listener
+/// and its bound address.
+pub fn loopback_listener() -> io::Result<(TcpListener, std::net::SocketAddr)> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    Ok((listener, addr))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Test codec: `u64` counter + string payload, hand-packed.
+    struct TestCodec;
+
+    impl WireCodec for TestCodec {
+        type Msg = (u64, String);
+        fn encode(&self, msg: &(u64, String)) -> Vec<u8> {
+            let mut out = msg.0.to_be_bytes().to_vec();
+            out.extend_from_slice(msg.1.as_bytes());
+            out
+        }
+        fn decode(&self, bytes: &[u8]) -> Option<(u64, String)> {
+            if bytes.len() < 8 {
+                return None;
+            }
+            let n = u64::from_be_bytes(bytes[..8].try_into().ok()?);
+            let s = std::str::from_utf8(&bytes[8..]).ok()?.to_owned();
+            Some((n, s))
+        }
+    }
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        write_frame(&mut buf, b"world").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"world");
+        assert_eq!(read_frame(&mut r).unwrap(), None);
+    }
+
+    #[test]
+    fn oversized_frame_rejected() {
+        let mut buf = (MAX_FRAME + 1).to_be_bytes().to_vec();
+        buf.extend_from_slice(&[0; 16]);
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn loopback_conn_exchanges_typed_messages() {
+        let (listener, addr) = loopback_listener().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut conn = FrameConn::new(stream, TestCodec);
+            let mut got = Vec::new();
+            while let Some(msg) = conn.recv().unwrap() {
+                conn.send(&(msg.0 + 1, format!("ack:{}", msg.1))).unwrap();
+                got.push(msg);
+            }
+            got
+        });
+        let mut client = FrameConn::connect(addr, TestCodec).unwrap();
+        for i in 0..10u64 {
+            client.send(&(i, format!("m{i}"))).unwrap();
+            let (n, s) = client.recv().unwrap().unwrap();
+            assert_eq!(n, i + 1);
+            assert_eq!(s, format!("ack:m{i}"));
+        }
+        drop(client);
+        let got = server.join().unwrap();
+        assert_eq!(got.len(), 10);
+        // Per-connection FIFO: frames arrive in send order.
+        assert!(got.windows(2).all(|w| w[0].0 + 1 == w[1].0));
+    }
+}

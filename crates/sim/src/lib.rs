@@ -32,12 +32,12 @@ pub mod net;
 pub mod time;
 pub mod world;
 
-pub use actor::{Actor, ActorId, Ctx};
+pub use actor::{Actor, ActorId, Ctx, LiveCtxOps};
 pub use event::KernelMsg;
 pub use fuxi_obs as obs;
 pub use fuxi_obs::{SpanKind, TraceEvent, TraceId, Tracer, TracerConfig};
 pub use failure::{Fault, FaultPlan};
-pub use flow::{FlowKind, FlowSpec};
+pub use flow::{FlowDone, FlowKind, FlowNet, FlowSpec};
 pub use metrics::{Histogram, Metrics};
 pub use net::NetConfig;
 pub use time::{SimDuration, SimTime};

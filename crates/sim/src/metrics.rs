@@ -238,6 +238,42 @@ impl Metrics {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// Sets gauge `name` to an absolute value (sampled quantities like
+    /// mailbox depths, where deltas from many writers make no sense).
+    pub fn gauge_set(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_owned(), v);
+    }
+
+    /// Sets gauge `name` to `v` if `v` exceeds the current value — a
+    /// high-water mark across many reporting threads.
+    pub fn gauge_max(&mut self, name: &str, v: f64) {
+        let g = self.gauges.entry(name.to_owned()).or_insert(f64::NEG_INFINITY);
+        if v > *g {
+            *g = v;
+        }
+    }
+
+    /// Merges another sink into this one: counters and gauges add,
+    /// histograms merge bucket-wise, series concatenate (re-sorted by
+    /// time so exports stay monotone). The live runtime gives every actor
+    /// thread its own `Metrics` and folds them together at shutdown.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0.0) += v;
+        }
+        for (k, pts) in &other.series {
+            let s = self.series.entry(k.clone()).or_default();
+            s.extend_from_slice(pts);
+            s.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
     /// A deterministic JSON snapshot of every counter, gauge, and histogram
     /// (count/mean/min/max/p50/p95/p99), keys sorted. Series are summarised
     /// by length and time-weighted mean rather than dumped point-by-point.
@@ -388,6 +424,39 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.max(), 0.2);
         assert_eq!(a.min(), 0.001);
+    }
+
+    #[test]
+    fn merge_combines_all_sinks() {
+        let mut a = Metrics::new();
+        a.count("msgs", 2);
+        a.gauge_add("g", 1.0);
+        a.record("lat", 0.001);
+        a.push_series("s", 1.0, 10.0);
+        let mut b = Metrics::new();
+        b.count("msgs", 3);
+        b.count("only_b", 1);
+        b.gauge_add("g", 0.5);
+        b.record("lat", 0.002);
+        b.push_series("s", 0.5, 5.0);
+        a.merge(&b);
+        assert_eq!(a.counter("msgs"), 5);
+        assert_eq!(a.counter("only_b"), 1);
+        assert!((a.gauge("g") - 1.5).abs() < 1e-12);
+        assert_eq!(a.histogram("lat").unwrap().count(), 2);
+        // Series re-sorted by time after concatenation.
+        assert_eq!(a.series("s"), &[(0.5, 5.0), (1.0, 10.0)]);
+    }
+
+    #[test]
+    fn gauge_set_and_max() {
+        let mut m = Metrics::new();
+        m.gauge_set("depth", 7.0);
+        m.gauge_set("depth", 3.0);
+        assert_eq!(m.gauge("depth"), 3.0);
+        m.gauge_max("hwm", 5.0);
+        m.gauge_max("hwm", 2.0);
+        assert_eq!(m.gauge("hwm"), 5.0);
     }
 
     #[test]

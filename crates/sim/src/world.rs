@@ -1,6 +1,6 @@
 //! The world: machines, actors, the event loop, and fault operations.
 
-use crate::actor::{Actor, ActorId, Ctx};
+use crate::actor::{Actor, ActorId, Ctx, CtxBackend};
 use crate::event::{EventKind, EventQueue, KernelMsg};
 use crate::flow::{FlowDone, FlowNet, FlowSpec};
 use crate::metrics::Metrics;
@@ -533,7 +533,7 @@ impl<M: KernelMsg> World<M> {
         };
         {
             let mut ctx = Ctx {
-                core: &mut self.core,
+                backend: CtxBackend::Sim(&mut self.core),
                 self_id: id,
             };
             f(actor.as_mut(), &mut ctx);

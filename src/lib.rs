@@ -46,5 +46,6 @@ pub use fuxi_cluster as cluster;
 pub use fuxi_core as core;
 pub use fuxi_job as job;
 pub use fuxi_proto as proto;
+pub use fuxi_rt as rt;
 pub use fuxi_sim as sim;
 pub use fuxi_workloads as workloads;

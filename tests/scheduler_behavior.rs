@@ -119,9 +119,6 @@ fn quota_preemption_reclaims_guaranteed_share_end_to_end() {
 }
 
 #[test]
-#[ignore = "seed known-failing: reuse-vs-per-task speedup is ~1.06x, below the asserted 1.15x; \
-the per-task (YARN-mode) ablation does not yet charge per-launch process overhead, so the \
-round-trip penalty is under-modeled. Tracked in CHANGES.md (PR 1)."]
 fn container_reuse_beats_per_task_containers() {
     // The Fuxi-vs-YARN ablation (§3.2.3): identical job, identical cluster;
     // only the container policy differs.
@@ -140,6 +137,12 @@ fn container_reuse_beats_per_task_containers() {
     let run = |reuse: bool| -> (f64, u64, u64) {
         let jm = JobMasterConfig {
             container_reuse: reuse,
+            // Every fresh worker process pays a startup cost (binary exec,
+            // runtime init) before it can take tasks; reuse amortizes it.
+            worker: fuxi::job::WorkerConfig {
+                startup_overhead_s: 1.0,
+                ..Default::default()
+            },
             ..JobMasterConfig::default()
         };
         // The baseline is heartbeat-paced, like YARN's RM: allocations
