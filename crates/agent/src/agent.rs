@@ -758,15 +758,12 @@ impl Actor<Msg> for FuxiAgent {
                 self.parked.retain(|(s, _, _)| s.worker != worker);
                 self.drop_worker(ctx, worker, true, "stopped");
             }
-            Msg::CapacityNotify {
-                app,
-                unit,
-                unit_resource,
-                delta,
-            } => {
-                self.envelope.apply(app, unit, unit_resource, delta);
-                if delta < 0 {
-                    self.check_capacity(ctx, app);
+            Msg::CapacityNotify { changes } => {
+                for c in changes {
+                    self.envelope.apply(c.app, c.unit, c.unit_resource, c.delta);
+                    if c.delta < 0 {
+                        self.check_capacity(ctx, c.app);
+                    }
                 }
             }
             Msg::AgentCapacitySnapshot { allocations } => {
@@ -947,15 +944,19 @@ mod tests {
         }
     }
 
+    fn capacity_change(count: i64) -> fuxi_proto::CapacityChange {
+        fuxi_proto::CapacityChange {
+            app: AppId(1),
+            unit: UnitId(0),
+            unit_resource: ResourceVec::new(2000, 8192),
+            delta: count,
+        }
+    }
+
     fn grant_capacity(h: &mut Harness, count: i64) {
         h.world.send_external(
             h.agent,
-            Msg::CapacityNotify {
-                app: AppId(1),
-                unit: UnitId(0),
-                unit_resource: ResourceVec::new(2000, 8192),
-                delta: count,
-            },
+            Msg::CapacityNotify { changes: vec![capacity_change(count)] },
         );
     }
 
@@ -1002,12 +1003,7 @@ mod tests {
         h.world.at(SimTime::from_millis(400), move |w| {
             w.send_external(
                 agent,
-                Msg::CapacityNotify {
-                    app: AppId(1),
-                    unit: UnitId(0),
-                    unit_resource: ResourceVec::new(2000, 8192),
-                    delta: 1,
-                },
+                Msg::CapacityNotify { changes: vec![capacity_change(1)] },
             );
         });
         h.world.run_until(SimTime::from_secs(10));

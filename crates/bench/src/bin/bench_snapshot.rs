@@ -4,14 +4,24 @@
 //! `reference_mode`) so the speedup ratio is measured in one binary on one
 //! machine, not stitched from two checkouts.
 //!
-//! Usage: `cargo run --release -p fuxi-bench --bin bench_snapshot [out.json]`
+//! Usage:
+//! `cargo run --release -p fuxi-bench --bin bench_snapshot [--check] [out.json]`
 //! Set `CRITERION_QUICK=1` for a fast low-confidence pass.
 //!
-//! The snapshot also runs the §5.2 synthetic experiment twice — tracing
-//! on and off — and records the Figure 9 decision-time medians of both.
-//! It exits non-zero if the instrumented median regresses more than 5%,
-//! and writes a `trace_sample.jsonl` (next to the output file) from the
-//! traced run for CI artifact upload / `trace_dump` smoke tests.
+//! Every entry carries provenance (machine count; the snapshot header
+//! records `quick_mode` and the git revision) so a committed
+//! BENCH_sched.json says exactly what was measured. With `--check` the
+//! binary is a CI perf gate: it exits non-zero if the fit index loses to
+//! the naive scan (`naive_over_indexed < 1.0`) on any `sched_free_up_*` or
+//! `sched_delta_*` bench.
+//!
+//! The snapshot also measures end-to-end kernel throughput
+//! (`sim_events_per_sec`: a 5k-machine × 100k-job event storm on both the
+//! calendar and heap kernels), runs the §5.2 synthetic experiment twice —
+//! tracing on and off — and records the Figure 9 decision-time medians of
+//! both. It exits non-zero if the instrumented median regresses more than
+//! 5%, and writes a `trace_sample.jsonl` (next to the output file) from
+//! the traced run for CI artifact upload / `trace_dump` smoke tests.
 
 use criterion::{black_box, Criterion};
 use fuxi_bench::{scenarios, Args};
@@ -113,10 +123,40 @@ fn measure_tracing_overhead(quick: bool) -> TracingOverhead {
     }
 }
 
+/// Machine count behind a bench entry, from its label.
+fn machines_of(name: &str) -> u64 {
+    if name.contains("5k_machines") {
+        5_000
+    } else {
+        // 1k-scale engines and the locality tree (1,000 machine queues).
+        1_000
+    }
+}
+
+/// Short git revision of the working tree, for snapshot provenance.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".to_owned())
+}
+
 fn main() {
     fuxi_bench::warn_if_debug();
-    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sched.json".to_owned());
+    let mut check = false;
+    let mut out_path = "BENCH_sched.json".to_owned();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            other => out_path = other.to_owned(),
+        }
+    }
     let quick = std::env::var("CRITERION_QUICK").map(|v| v == "1").unwrap_or(false);
+    let rev = git_rev();
 
     let mut c = Criterion::default();
     run_scale(&mut c, "1k_machines", 20, 50);
@@ -128,14 +168,20 @@ fn main() {
     json.push_str("{\n");
     json.push_str("  \"generated_by\": \"bench_snapshot\",\n");
     json.push_str(&format!("  \"quick_mode\": {quick},\n"));
+    json.push_str(&format!("  \"git_rev\": \"{rev}\",\n"));
     json.push_str("  \"unit\": \"ns_per_decision\",\n");
     json.push_str("  \"benches\": [\n");
     for (i, s) in c.collected.iter().enumerate() {
         let sep = if i + 1 == c.collected.len() { "" } else { "," };
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
-             \"p95_ns\": {:.1}, \"iterations\": {}}}{sep}\n",
-            s.name, s.median_ns, s.mean_ns, s.p95_ns, s.iterations
+            "    {{\"name\": \"{}\", \"machines\": {}, \"median_ns\": {:.1}, \
+             \"mean_ns\": {:.1}, \"p95_ns\": {:.1}, \"iterations\": {}}}{sep}\n",
+            s.name,
+            machines_of(&s.name),
+            s.median_ns,
+            s.mean_ns,
+            s.p95_ns,
+            s.iterations
         ));
     }
     json.push_str("  ],\n");
@@ -155,6 +201,40 @@ fn main() {
     }
     json.push_str("  },\n");
 
+    println!("\nmeasuring end-to-end kernel throughput (event storm)...");
+    let (storm_machines, storm_jobs) = if quick { (500, 10_000) } else { (5_000, 100_000) };
+    let cal = fuxi_bench::sim_storm::run_event_storm(
+        storm_machines,
+        storm_jobs,
+        fuxi_sim::QueueKernel::Calendar,
+        2014,
+    );
+    let heap = fuxi_bench::sim_storm::run_event_storm(
+        storm_machines,
+        storm_jobs,
+        fuxi_sim::QueueKernel::Heap,
+        2014,
+    );
+    assert_eq!(cal.events, heap.events, "kernels must process identical schedules");
+    json.push_str("  \"sim_events_per_sec\": {\n");
+    json.push_str(&format!(
+        "    \"machines\": {},\n    \"jobs\": {},\n    \"events\": {},\n",
+        cal.machines, cal.jobs, cal.events
+    ));
+    json.push_str(&format!(
+        "    \"calendar\": {{\"wall_s\": {:.3}, \"events_per_sec\": {:.0}}},\n",
+        cal.wall_s, cal.events_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"heap\": {{\"wall_s\": {:.3}, \"events_per_sec\": {:.0}}},\n",
+        heap.wall_s, heap.events_per_sec
+    ));
+    json.push_str(&format!(
+        "    \"calendar_over_heap\": {:.3}\n",
+        cal.events_per_sec / heap.events_per_sec.max(1e-9)
+    ));
+    json.push_str("  },\n");
+
     println!("\nmeasuring fig9 tracing overhead (two synthetic runs)...");
     let ovh = measure_tracing_overhead(quick);
     json.push_str("  \"fig9_tracing_overhead\": {\n");
@@ -172,6 +252,33 @@ fn main() {
     println!("wrote {} ({} bytes)", sample_path.display(), ovh.sample_jsonl.len());
     for (base, ratio) in &pairs {
         println!("  {base}: naive/indexed = {ratio:.2}x");
+    }
+    println!(
+        "  sim_events_per_sec ({} machines, {} jobs): calendar {:.0}/s ({:.2}s), heap {:.0}/s ({:.2}s)",
+        cal.machines, cal.jobs, cal.events_per_sec, cal.wall_s, heap.events_per_sec, heap.wall_s
+    );
+    // The CI perf gate: the fit index must not lose its own hot paths, and
+    // the end-to-end scenario must stay inside the 30 s wall budget.
+    if check {
+        let mut bad = false;
+        for (base, ratio) in &pairs {
+            if (base.starts_with("sched_free_up") || base.starts_with("sched_delta"))
+                && *ratio < 1.0
+            {
+                eprintln!("FAIL: {base} naive/indexed = {ratio:.2}x < 1.0 — the fit index lost");
+                bad = true;
+            }
+        }
+        if !quick && cal.wall_s > 30.0 {
+            eprintln!(
+                "FAIL: 5k-machine × 100k-job event storm took {:.1}s (> 30s budget)",
+                cal.wall_s
+            );
+            bad = true;
+        }
+        if bad {
+            std::process::exit(1);
+        }
     }
     println!(
         "  fig9 median: {:.2} us untraced vs {:.2} us traced ({:.1}% overhead, {} decisions)",

@@ -222,9 +222,158 @@ pub mod scenarios {
     }
 }
 
+/// End-to-end kernel throughput: a cluster-sized world where a driver keeps
+/// a window of jobs in flight over per-machine worker actors. Each job is
+/// one submit delivery, one runtime timer, and one completion delivery, so
+/// the scenario exercises exactly the event-queue hot path (pushes from
+/// three sites, same-tick ties, far-future timers) with trivial handlers —
+/// wall time measures the kernel, not the workload.
+pub mod sim_storm {
+    use fuxi_sim::{
+        Actor, ActorId, Ctx, KernelMsg, QueueKernel, SimDuration, SimTime, TracerConfig, World,
+        WorldConfig,
+    };
+    use std::cell::Cell;
+    use std::rc::Rc;
+
+    #[derive(Debug)]
+    enum StormMsg {
+        Submit { job: u64 },
+        Done,
+        Flow,
+    }
+
+    impl KernelMsg for StormMsg {
+        fn flow_done(_tag: u64, _failed: bool) -> Self {
+            StormMsg::Flow
+        }
+    }
+
+    /// Runs one job per `Submit`: a deterministic-duration timer, then a
+    /// completion back to the driver.
+    struct Worker {
+        driver: ActorId,
+    }
+
+    impl Actor<StormMsg> for Worker {
+        fn on_message(&mut self, ctx: &mut Ctx<'_, StormMsg>, from: ActorId, msg: StormMsg) {
+            if let StormMsg::Submit { job } = msg {
+                self.driver = from;
+                // Job runtimes 1–200 ms, scattered deterministically so
+                // completions land across many ticks (and frequently tie).
+                ctx.timer(SimDuration::from_millis(1 + job.wrapping_mul(7919) % 200), job);
+            }
+        }
+
+        fn on_timer(&mut self, ctx: &mut Ctx<'_, StormMsg>, _tag: u64) {
+            ctx.send(self.driver, StormMsg::Done);
+        }
+    }
+
+    /// Dispatches `total` jobs round-robin over the workers, keeping at
+    /// most `window` in flight.
+    struct Driver {
+        workers: Vec<ActorId>,
+        next_job: u64,
+        total: u64,
+        window: u64,
+        done: Rc<Cell<u64>>,
+    }
+
+    impl Driver {
+        fn dispatch(&mut self, ctx: &mut Ctx<'_, StormMsg>) {
+            let job = self.next_job;
+            self.next_job += 1;
+            let to = self.workers[(job % self.workers.len() as u64) as usize];
+            ctx.send(to, StormMsg::Submit { job });
+        }
+    }
+
+    impl Actor<StormMsg> for Driver {
+        fn on_start(&mut self, ctx: &mut Ctx<'_, StormMsg>) {
+            for _ in 0..self.window.min(self.total) {
+                self.dispatch(ctx);
+            }
+        }
+
+        fn on_message(&mut self, ctx: &mut Ctx<'_, StormMsg>, _from: ActorId, msg: StormMsg) {
+            if let StormMsg::Done = msg {
+                self.done.set(self.done.get() + 1);
+                if self.next_job < self.total {
+                    self.dispatch(ctx);
+                }
+            }
+        }
+    }
+
+    /// Outcome of one storm run.
+    pub struct StormStats {
+        pub machines: usize,
+        pub jobs: u64,
+        /// Kernel events dispatched (deliveries + timers).
+        pub events: u64,
+        pub wall_s: f64,
+        pub events_per_sec: f64,
+    }
+
+    /// Runs `jobs` jobs over `machines` worker actors on the given kernel
+    /// and measures wall-clock event throughput. Panics if any job is lost.
+    pub fn run_event_storm(machines: usize, jobs: u64, kernel: QueueKernel, seed: u64) -> StormStats {
+        let mut cfg = WorldConfig::uniform(machines, 50, seed);
+        cfg.kernel = kernel;
+        cfg.obs = TracerConfig {
+            enabled: false,
+            ..TracerConfig::default()
+        };
+        let mut world: World<StormMsg> = World::new(cfg);
+        let workers: Vec<ActorId> = (0..machines)
+            .map(|m| {
+                world.spawn(
+                    Some(m as u32),
+                    Box::new(Worker {
+                        driver: ActorId::NONE,
+                    }),
+                )
+            })
+            .collect();
+        let done = Rc::new(Cell::new(0u64));
+        world.spawn(
+            None,
+            Box::new(Driver {
+                workers,
+                next_job: 0,
+                total: jobs,
+                window: 2_000,
+                done: Rc::clone(&done),
+            }),
+        );
+        let t0 = std::time::Instant::now();
+        world.run_until(SimTime::MAX);
+        let wall_s = t0.elapsed().as_secs_f64();
+        assert_eq!(done.get(), jobs, "all jobs must complete");
+        let events = world.events_processed();
+        StormStats {
+            machines,
+            jobs,
+            events,
+            wall_s,
+            events_per_sec: events as f64 / wall_s.max(1e-9),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn event_storm_completes_and_counts() {
+        let s = sim_storm::run_event_storm(100, 2_000, fuxi_sim::QueueKernel::Calendar, 42);
+        // ≥3 events per job: submit delivery, runtime timer, completion.
+        assert!(s.events >= 3 * s.jobs, "{} events for {} jobs", s.events, s.jobs);
+        let h = sim_storm::run_event_storm(100, 2_000, fuxi_sim::QueueKernel::Heap, 42);
+        assert_eq!(s.events, h.events, "kernels must process identical schedules");
+    }
 
     #[test]
     fn synthetic_experiment_smoke() {

@@ -248,6 +248,7 @@ impl Cluster {
             net: cfg.net.clone(),
             seed: cfg.seed,
             obs: cfg.obs.clone(),
+            kernel: fuxi_sim::QueueKernel::default(),
         });
         let naming = NameRegistry::new();
         let store = StoreHandle::new();

@@ -118,6 +118,9 @@ pub struct FuxiMaster {
     pending_deltas: BTreeMap<AppId, BTreeMap<UnitId, RequestDelta>>,
     /// Apps whose AM has re-synced during the current rebuild.
     apps_seen: BTreeSet<AppId>,
+    /// Reused event buffer for [`Self::flush_engine`]: the engine swaps its
+    /// decision log into this, so steady-state flushes allocate nothing.
+    scratch_events: Vec<EngineEvent>,
 }
 
 impl FuxiMaster {
@@ -148,6 +151,7 @@ impl FuxiMaster {
             grant_tx: BTreeMap::new(),
             pending_deltas: BTreeMap::new(),
             apps_seen: BTreeSet::new(),
+            scratch_events: Vec::new(),
         }
     }
 
@@ -435,11 +439,19 @@ impl FuxiMaster {
     /// Drains engine decisions into `GrantUpdate` (to AMs) and
     /// `CapacityNotify` (to agents) messages.
     fn flush_engine(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        let events = self.engine.as_mut().unwrap().drain_events();
+        let mut events = std::mem::take(&mut self.scratch_events);
+        self.engine.as_mut().unwrap().take_events_into(&mut events);
         if events.is_empty() {
+            self.scratch_events = events;
             return;
         }
         let mut per_am: BTreeMap<AppId, Vec<GrantDelta>> = BTreeMap::new();
+        // One CapacityNotify envelope per agent per flush: per-decision
+        // changes are coalesced here and sent as a single run below. The
+        // envelope carries the trace of its first contributing decision;
+        // the per-decision Grant/Revoke trace events keep their own traces.
+        let mut per_agent: BTreeMap<MachineId, (TraceId, Vec<fuxi_proto::CapacityChange>)> =
+            BTreeMap::new();
         for ev in &events {
             let (app, unit, machine, delta) = match *ev {
                 EngineEvent::Grant {
@@ -483,24 +495,29 @@ impl FuxiMaster {
                     changes: vec![(machine, delta)],
                 });
                 // Agents enforce the per-app envelope.
-                if let Some(agent) = self.agents[machine.0 as usize] {
+                if self.agents[machine.0 as usize].is_some() {
                     let unit_resource = self
                         .engine
                         .as_ref()
                         .unwrap()
                         .unit_resource(app, unit)
                         .unwrap_or(fuxi_proto::ResourceVec::ZERO);
-                    ctx.send_traced(
-                        agent,
-                        Msg::CapacityNotify {
+                    per_agent
+                        .entry(machine)
+                        .or_insert_with(|| (trace, Vec::new()))
+                        .1
+                        .push(fuxi_proto::CapacityChange {
                             app,
                             unit,
                             unit_resource,
                             delta,
-                        },
-                        trace,
-                    );
+                        });
                 }
+            }
+        }
+        for (machine, (trace, changes)) in per_agent {
+            if let Some(agent) = self.agents[machine.0 as usize] {
+                ctx.send_traced(agent, Msg::CapacityNotify { changes }, trace);
             }
         }
         for (app, grants) in per_am {
@@ -511,6 +528,8 @@ impl FuxiMaster {
                 ctx.metrics().count("fm.grant_updates", 1);
             }
         }
+        events.clear();
+        self.scratch_events = events;
     }
 
     // ------------------------------------------------------------------

@@ -163,6 +163,11 @@ pub struct Engine {
     /// machine-down / blacklist / capacity events touch only the affected
     /// machine's allocations instead of scanning all apps × units.
     alloc_index: Vec<BTreeMap<(AppId, UnitId), u64>>,
+    /// Reusable candidate buffer for the free-up path; capacity is retained
+    /// across calls so steady-state scheduling allocates nothing.
+    scratch_cands: Vec<(Level, QueueKey)>,
+    /// Reusable machine buffer for cluster-level satisfy scans.
+    scratch_machines: Vec<MachineId>,
 }
 
 impl Engine {
@@ -187,6 +192,8 @@ impl Engine {
             paused: false,
             planned: ResourceVec::ZERO,
             granted_by_priority: BTreeMap::new(),
+            scratch_cands: Vec::new(),
+            scratch_machines: Vec::new(),
             topo,
             cfg,
         }
@@ -225,6 +232,15 @@ impl Engine {
     /// Decisions made since the last drain.
     pub fn drain_events(&mut self) -> Vec<EngineEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    /// Moves pending decisions into `out` (cleared first). Both buffers keep
+    /// their capacity, so a caller reusing one `out` across calls makes
+    /// event draining allocation-free — the hot-path variant of
+    /// [`drain_events`](Self::drain_events).
+    pub fn take_events_into(&mut self, out: &mut Vec<EngineEvent>) {
+        out.clear();
+        std::mem::swap(&mut self.events, out);
     }
 
     /// Is paused.
@@ -810,7 +826,7 @@ impl Engine {
             if remaining > 0 {
                 let nonempty = self.free.nonempty_count().max(1) as u64;
                 let per_machine_cap = remaining.div_ceil(nonempty).max(1);
-                let mut candidates: Vec<MachineId> = Vec::new();
+                let mut candidates = std::mem::take(&mut self.scratch_machines);
                 self.free
                     .scan_fitting(&unit_res, self.cfg.max_cluster_scan, &mut candidates);
                 for pass in 0..2 {
@@ -835,6 +851,7 @@ impl Engine {
                         }
                     }
                 }
+                self.scratch_machines = candidates;
             }
             if let Some(last) = last_granted {
                 self.free.advance_cursor(last);
@@ -944,19 +961,37 @@ impl Engine {
             return;
         }
         let rack = self.topo.rack_of(m);
-        loop {
+        // The candidate buffer is taken out of `self` so the grant calls
+        // below can borrow the engine mutably; it goes back (with its
+        // capacity) on every exit path, so steady state allocates nothing.
+        let mut cands = std::mem::take(&mut self.scratch_cands);
+        'outer: loop {
             let free = self.free.free(m).clone();
             if free.is_zero() {
-                return;
+                break;
             }
-            let cands =
-                self.tree
-                    .candidates_for_machine(m, rack, &free, self.cfg.max_candidates);
+            self.tree
+                .candidates_into(m, rack, &free, self.cfg.max_candidates, &mut cands);
             if cands.is_empty() {
-                return;
+                break;
             }
             let mut granted_any = false;
-            for (level, key) in cands {
+            let mut recheck = false;
+            for &(level, key) in &cands {
+                // A grant shrank the free vector; if every queue feeding
+                // this machine is now hopeless, no remaining candidate can
+                // be granted: candidates still queued are bounded below by
+                // their queue's min footprint (which no longer fits), and
+                // candidates dequeued mid-walk by `sync_queues` have zero
+                // remaining want at this level. Skipping them changes no
+                // decision — the reference engine keeps the full walk to
+                // prove exactly that.
+                if recheck && !self.cfg.reference_mode {
+                    if self.all_queues_hopeless(m, rack) {
+                        break 'outer;
+                    }
+                    recheck = false;
+                }
                 let Some(entry) = self.apps.get(&key.app) else {
                     continue;
                 };
@@ -987,13 +1022,26 @@ impl Engine {
                 self.sync_queues(key.app, key.unit);
                 granted_any = true;
                 if self.free.free(m).is_zero() {
-                    return;
+                    break 'outer;
                 }
+                recheck = true;
             }
             if !granted_any {
-                return;
+                break;
             }
         }
+        self.scratch_cands = cands;
+    }
+
+    /// True when the machine, rack and cluster queues are all hopeless for
+    /// `m`'s current free vector (absent queues are trivially hopeless).
+    fn all_queues_hopeless(&self, m: MachineId, rack: RackId) -> bool {
+        let free = self.free.free(m);
+        self.tree
+            .machine_queue(m)
+            .is_none_or(|q| q.hopeless_for(free))
+            && self.tree.rack_queue(rack).is_none_or(|q| q.hopeless_for(free))
+            && self.tree.cluster_queue().hopeless_for(free)
     }
 
     // ------------------------------------------------------------------

@@ -19,10 +19,25 @@
 //!
 //! Maintenance is incremental. `give` only widens the bound (component-wise
 //! max with the new free vector, O(dimensions)). `take` and `set_capacity`
-//! can shrink a member, so they mark the rack (and root) *dirty*; the exact
-//! bound is recomputed lazily the next time a scan consults that rack,
+//! can shrink a member, so they may mark the rack (and root) *dirty*; the
+//! exact bound is recomputed lazily the next time a scan consults that rack,
 //! touching only its nonempty members. A saturated cluster therefore
 //! converges to O(1) rejections at the root instead of Θ(cluster) scans.
+//!
+//! Dirtying itself is incremental: a shrink only dirties the rack when the
+//! member *touched* the bound in a dimension it shrank — if the member was
+//! strictly below the bound everywhere it shrank, the exact max cannot have
+//! moved and the bound stays clean. Bounds therefore stay exact across the
+//! common free→take turnover on non-peak machines.
+//!
+//! # Struct-of-arrays fast path
+//!
+//! The two physical dimensions of every machine's free vector are mirrored
+//! in dense `free_cpu` / `free_mem` arrays. Scans test fits against these
+//! with a branch-free `(cpu ok) & (mem ok)` compare over an 8-byte stride
+//! instead of dereferencing the full `ResourceVec` (40-byte stride with a
+//! heap pointer for virtuals). The `ResourceVec` vector remains the source
+//! of truth for virtual dimensions and for callers that need full vectors.
 //!
 //! Scan-budget parity: pruned racks still charge their nonempty-machine
 //! count against the caller's scan budget, so rotation fairness and
@@ -78,6 +93,10 @@ impl RackAgg {
 pub struct FreePool {
     capacity: Vec<ResourceVec>,
     free: Vec<ResourceVec>,
+    /// SoA mirror of `free`: physical CPU dimension (milli-cores).
+    free_cpu: Vec<u64>,
+    /// SoA mirror of `free`: physical memory dimension (MB).
+    free_mem: Vec<u64>,
     /// Machine index → rack index (dense, fixed at construction).
     rack_of: Vec<u32>,
     racks: Vec<RackAgg>,
@@ -119,6 +138,8 @@ impl FreePool {
             }
         }
         Self {
+            free_cpu: capacities.iter().map(|c| c.cpu_milli()).collect(),
+            free_mem: capacities.iter().map(|c| c.memory_mb()).collect(),
             free: capacities.clone(),
             capacity: capacities,
             rack_of: rack_of.into_iter().map(|r| r.0).collect(),
@@ -163,30 +184,56 @@ impl FreePool {
         }
     }
 
+    /// True when shrinking `old` down to `new` can lower a rack bound that
+    /// currently equals `bound`: some dimension both shrank and sat exactly
+    /// at the bound. When false, the exact component-wise max is provably
+    /// unchanged (every shrunk dimension had another member at the bound).
+    fn shrink_touches_bound(old: &ResourceVec, new: &ResourceVec, bound: &ResourceVec) -> bool {
+        if new.cpu_milli() < old.cpu_milli() && old.cpu_milli() == bound.cpu_milli() {
+            return true;
+        }
+        if new.memory_mb() < old.memory_mb() && old.memory_mb() == bound.memory_mb() {
+            return true;
+        }
+        old.virtuals().any(|(id, amt)| {
+            new.virtual_amount(id) < amt && amt == bound.virtual_amount(id)
+        })
+    }
+
     /// Takes `unit × count` from `m`. Panics in debug builds on underflow —
     /// callers must have checked `fits`.
     pub fn take(&mut self, m: MachineId, unit: &ResourceVec, count: u64) {
         debug_assert!(self.fits(m, unit) >= count, "free-pool underflow on {m}");
-        let f = &mut self.free[m.0 as usize];
+        let i = m.0 as usize;
+        let old = self.free[i].clone();
+        let f = &mut self.free[i];
         f.sub_scaled(unit, count);
-        let rack = &mut self.racks[self.rack_of[m.0 as usize] as usize];
+        self.free_cpu[i] = f.cpu_milli();
+        self.free_mem[i] = f.memory_mb();
+        let rack = &mut self.racks[self.rack_of[i] as usize];
         if f.is_zero() && rack.nonempty.remove(&m) {
             self.nonempty_total -= 1;
         }
-        // The member shrank: bounds may now overestimate. Defer the exact
-        // recompute to the next scan that actually consults this rack.
-        rack.dirty = true;
-        self.cluster_dirty = true;
+        // The member shrank. Only if it sat *on* the bound in a dimension it
+        // shrank can the exact max have moved; otherwise the bound stays
+        // exact and no deferred recompute is ever owed for this take.
+        if Self::shrink_touches_bound(&old, &self.free[i], &rack.max_free) {
+            rack.dirty = true;
+            self.cluster_dirty = true;
+        }
     }
 
     /// Returns `unit × count` to `m` (clamped to capacity).
     pub fn give(&mut self, m: MachineId, unit: &ResourceVec, count: u64) {
-        let f = &mut self.free[m.0 as usize];
+        let i = m.0 as usize;
+        let f = &mut self.free[i];
         f.add_scaled(unit, count);
         // Capacity may have shrunk since the grant (node flap): free space
         // must never exceed what the machine can actually schedule.
-        f.clamp_to(&self.capacity[m.0 as usize]);
-        let rack = &mut self.racks[self.rack_of[m.0 as usize] as usize];
+        f.clamp_to(&self.capacity[i]);
+        self.free_cpu[i] = f.cpu_milli();
+        self.free_mem[i] = f.memory_mb();
+        let rack = &mut self.racks[self.rack_of[i] as usize];
         if !f.is_zero() {
             if rack.nonempty.insert(m) {
                 self.nonempty_total += 1;
@@ -202,10 +249,11 @@ impl FreePool {
     /// virtual-resource reconfiguration). `in_use` is what is currently
     /// granted there; free becomes `max(0, new_capacity - in_use)`.
     pub fn set_capacity(&mut self, m: MachineId, new_capacity: ResourceVec, in_use: &ResourceVec) {
+        let i = m.0 as usize;
         let mut free = new_capacity.clone();
         free.saturating_sub(in_use);
-        self.capacity[m.0 as usize] = new_capacity;
-        let rack = &mut self.racks[self.rack_of[m.0 as usize] as usize];
+        self.capacity[i] = new_capacity;
+        let rack = &mut self.racks[self.rack_of[i] as usize];
         if free.is_zero() {
             if rack.nonempty.remove(&m) {
                 self.nonempty_total -= 1;
@@ -217,10 +265,15 @@ impl FreePool {
             rack.max_free.max_with(&free);
             self.cluster_max.max_with(&free);
         }
-        // Capacity can move in either direction; treat it like a shrink.
-        rack.dirty = true;
-        self.cluster_dirty = true;
-        self.free[m.0 as usize] = free;
+        // Growth was handled by widening above; only a shrink that touched
+        // the (already-widened) bound can leave it overestimating.
+        if Self::shrink_touches_bound(&self.free[i], &free, &rack.max_free) {
+            rack.dirty = true;
+            self.cluster_dirty = true;
+        }
+        self.free[i] = free;
+        self.free_cpu[i] = self.free[i].cpu_milli();
+        self.free_mem[i] = self.free[i].memory_mb();
     }
 
     /// Sound cluster-wide fit test via the index root: `false` means no
@@ -292,6 +345,10 @@ impl FreePool {
         if !self.cluster_can_fit(unit) {
             return;
         }
+        // Hoisted physical dims: the common all-physical unit tests against
+        // the dense SoA mirrors with one branch-free compare per machine.
+        let (uc, um) = (unit.cpu_milli(), unit.memory_mb());
+        let pure_physical = unit.virtuals().next().is_none();
         let (start, start_rack) = self.rotation();
         let start_m = MachineId(start);
         let n_racks = self.racks.len();
@@ -334,7 +391,13 @@ impl FreePool {
                     break;
                 }
                 scanned += 1;
-                if unit.fits_in(&self.free[m.0 as usize]) {
+                let i = m.0 as usize;
+                let fit = if pure_physical {
+                    (self.free_cpu[i] >= uc) & (self.free_mem[i] >= um)
+                } else {
+                    unit.fits_in(&self.free[i])
+                };
+                if fit {
                     out.push(m);
                 }
             }
@@ -352,6 +415,8 @@ impl FreePool {
         if unit.is_zero() || self.capacity.is_empty() || !self.cluster_can_fit(unit) {
             return None;
         }
+        let (uc, um) = (unit.cpu_milli(), unit.memory_mb());
+        let pure_physical = unit.virtuals().next().is_none();
         let (start, start_rack) = self.rotation();
         let start_m = MachineId(start);
         let n_racks = self.racks.len();
@@ -377,7 +442,13 @@ impl FreePool {
                 _ => rack.nonempty.range(..),
             };
             for &m in range {
-                if !avoid.contains(&m) && unit.fits_in(&self.free[m.0 as usize]) {
+                let i = m.0 as usize;
+                let fit = if pure_physical {
+                    (self.free_cpu[i] >= uc) & (self.free_mem[i] >= um)
+                } else {
+                    unit.fits_in(&self.free[i])
+                };
+                if fit && !avoid.contains(&m) {
                     return Some(m);
                 }
             }
@@ -458,6 +529,11 @@ impl FreePool {
                 assert!(
                     f.fits_in(&self.capacity[m.0 as usize]),
                     "free exceeds capacity on {m}"
+                );
+                assert_eq!(
+                    (self.free_cpu[m.0 as usize], self.free_mem[m.0 as usize]),
+                    (f.cpu_milli(), f.memory_mb()),
+                    "SoA mirror out of sync on {m}"
                 );
                 assert_eq!(
                     rack.nonempty.contains(&m),

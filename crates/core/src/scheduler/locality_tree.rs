@@ -13,7 +13,7 @@
 //! cannot possibly satisfy anyone in it.
 
 use fuxi_proto::{AppId, MachineId, Priority, RackId, ResourceVec, UnitId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 
 /// Ordering key of a waiting (app, unit): priority first, then submission
 /// order (FIFO within a priority), then ids for determinism.
@@ -30,9 +30,15 @@ pub struct QueueKey {
 }
 
 /// One waiting queue (for a machine, a rack, or the cluster).
+///
+/// Entries live in a sorted `Vec` rather than a `BTreeSet`: queues are
+/// read (merged, drained) far more often than mutated, and a contiguous
+/// slice iterates with zero pointer chasing and no per-node allocation.
+/// The vector's capacity is retained across drain/refill cycles, so a
+/// steady-state queue allocates nothing.
 #[derive(Debug, Default)]
 pub struct WaitQueue {
-    entries: BTreeSet<QueueKey>,
+    entries: Vec<QueueKey>,
     /// Monotone lower bounds of the smallest queued footprint; only lowered
     /// on insert, reset when the queue empties. Safe (never excludes a
     /// satisfiable entry), merely conservative.
@@ -43,20 +49,24 @@ pub struct WaitQueue {
 impl WaitQueue {
     fn new() -> Self {
         Self {
-            entries: BTreeSet::new(),
+            entries: Vec::new(),
             min_cpu: u64::MAX,
             min_mem: u64::MAX,
         }
     }
 
     fn insert(&mut self, key: QueueKey, footprint: &ResourceVec) {
-        self.entries.insert(key);
+        if let Err(i) = self.entries.binary_search(&key) {
+            self.entries.insert(i, key);
+        }
         self.min_cpu = self.min_cpu.min(footprint.cpu_milli());
         self.min_mem = self.min_mem.min(footprint.memory_mb());
     }
 
     fn remove(&mut self, key: &QueueKey) {
-        self.entries.remove(key);
+        if let Ok(i) = self.entries.binary_search(key) {
+            self.entries.remove(i);
+        }
         if self.entries.is_empty() {
             self.min_cpu = u64::MAX;
             self.min_mem = u64::MAX;
@@ -88,6 +98,11 @@ impl WaitQueue {
     /// First.
     pub fn first(&self) -> Option<&QueueKey> {
         self.entries.first()
+    }
+
+    /// Entries as a sorted slice.
+    fn as_slice(&self) -> &[QueueKey] {
+        &self.entries
     }
 }
 
@@ -209,23 +224,41 @@ impl LocalityTree {
         free: &ResourceVec,
         limit: usize,
     ) -> Vec<(Level, QueueKey)> {
+        let mut out = Vec::new();
+        self.candidates_into(m, rack, free, limit, &mut out);
+        out
+    }
+
+    /// [`candidates_for_machine`](Self::candidates_for_machine), but writing
+    /// into a caller-owned scratch vector (cleared first). The scheduler hot
+    /// path reuses one scratch buffer across calls, so steady-state
+    /// candidate collection allocates nothing once the buffer has grown to
+    /// the configured candidate cap.
+    pub fn candidates_into(
+        &self,
+        m: MachineId,
+        rack: RackId,
+        free: &ResourceVec,
+        limit: usize,
+        out: &mut Vec<(Level, QueueKey)>,
+    ) {
+        out.clear();
         let mq = self.machine.get(&m).filter(|q| !q.hopeless_for(free));
         let rq = self.rack.get(&rack).filter(|q| !q.hopeless_for(free));
         let cq = Some(&self.cluster).filter(|q| !q.hopeless_for(free));
         let avail = mq.map_or(0, WaitQueue::len)
             + rq.map_or(0, WaitQueue::len)
             + cq.map_or(0, WaitQueue::len);
-        let mut out = Vec::with_capacity(limit.min(avail));
-        if out.capacity() == 0 {
-            return out;
+        if limit.min(avail) == 0 {
+            return;
         }
         // Three-way merge with cached fronts. Entries within a queue are
         // already sorted, and levels are distinct, so two ranks are never
         // equal and the smallest front is unambiguous.
-        static EMPTY: BTreeSet<QueueKey> = BTreeSet::new();
-        let mut m_it = mq.map_or(EMPTY.iter(), |q| q.entries.iter());
-        let mut r_it = rq.map_or(EMPTY.iter(), |q| q.entries.iter());
-        let mut c_it = cq.map_or(EMPTY.iter(), |q| q.entries.iter());
+        const EMPTY: &[QueueKey] = &[];
+        let mut m_it = mq.map_or(EMPTY.iter(), |q| q.as_slice().iter());
+        let mut r_it = rq.map_or(EMPTY.iter(), |q| q.as_slice().iter());
+        let mut c_it = cq.map_or(EMPTY.iter(), |q| q.as_slice().iter());
         let mut m_f = m_it.next().copied();
         let mut r_f = r_it.next().copied();
         let mut c_f = c_it.next().copied();
@@ -252,7 +285,7 @@ impl LocalityTree {
                     out.push(($lvl, k));
                     $front = $it.next().copied();
                     if out.len() >= limit {
-                        return out;
+                        return;
                     }
                 }
             }};
@@ -262,7 +295,7 @@ impl LocalityTree {
             let rr = r_f.map(|k| rank(&k, Level::Rack));
             let cr = c_f.map(|k| rank(&k, Level::Cluster));
             let Some(best) = min2(min2(mr, rr), cr) else {
-                return out;
+                return;
             };
             if Some(best) == mr {
                 drain_run!(m_f, m_it, Level::Machine, min2(rr, cr));

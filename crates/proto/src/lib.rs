@@ -28,7 +28,8 @@ pub use ids::{
 };
 pub use msg::{FailReason, InstanceOutcome, InstanceWork, JobSummary, Msg};
 pub use request::{
-    GrantDelta, GrantLedger, RequestDelta, RequestState, ScheduleUnitDef, WantLevels,
+    CapacityChange, GrantDelta, GrantLedger, RequestDelta, RequestState, ScheduleUnitDef,
+    WantLevels,
 };
 pub use resource::{ResourceVec, VirtualResourceId, VirtualResourceRegistry, CPU_MILLI_PER_CORE};
 pub use topology::{Locality, MachineSpec, Topology, TopologyBuilder};

@@ -7,7 +7,7 @@
 
 use crate::health::NodeHealthReport;
 use crate::ids::{AppId, InstanceId, JobId, MachineId, Priority, QuotaGroupId, UnitId, WorkerId};
-use crate::request::{GrantDelta, RequestDelta, RequestState, ScheduleUnitDef};
+use crate::request::{CapacityChange, GrantDelta, RequestDelta, RequestState, ScheduleUnitDef};
 use crate::resource::ResourceVec;
 use fuxi_sim::ActorId;
 use serde::{Deserialize, Serialize};
@@ -216,16 +216,12 @@ pub enum Msg {
         reason: String,
     },
     /// FM → FA: per-app capacity bookkeeping on this machine changed
-    /// (grants/revocations); the agent enforces the new envelope.
+    /// (grants/revocations); the agent enforces the new envelope. One
+    /// message carries all of a flush's changes for this agent, so a
+    /// scheduling tick costs one envelope per agent, not one per decision.
     CapacityNotify {
-        /// Application id.
-        app: AppId,
-        /// ScheduleUnit id.
-        unit: UnitId,
-        /// Resource size of one container of this unit.
-        unit_resource: ResourceVec,
-        /// Signed container-count change (positive grant, negative revoke).
-        delta: i64,
+        /// All capacity changes for this agent from one flush.
+        changes: Vec<CapacityChange>,
     },
     /// FA → FM during master failover: full per-app allocation on this
     /// machine (Figure 7: "each FuxiAgent re-sends the resource allocation

@@ -25,7 +25,7 @@
 //! repair any divergence ("as a safety measurement, application masters
 //! exchange with FuxiMaster the full state of resources periodically").
 
-use crate::ids::{MachineId, Priority, RackId, UnitId};
+use crate::ids::{AppId, MachineId, Priority, RackId, UnitId};
 use crate::resource::ResourceVec;
 use crate::topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -318,6 +318,21 @@ pub struct GrantDelta {
     pub unit: UnitId,
     /// Per-machine count changes (positive grant, negative revoke).
     pub changes: Vec<(MachineId, i64)>,
+}
+
+/// One per-(app, unit) capacity change on a machine, carried in a batched
+/// `CapacityNotify`: the master coalesces all of one flush's decisions for
+/// an agent into a single envelope instead of one message per decision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacityChange {
+    /// Application id.
+    pub app: AppId,
+    /// ScheduleUnit id.
+    pub unit: UnitId,
+    /// Resource size of one container of this unit.
+    pub unit_resource: ResourceVec,
+    /// Signed container-count change (positive grant, negative revoke).
+    pub delta: i64,
 }
 
 impl GrantDelta {

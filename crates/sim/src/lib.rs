@@ -33,7 +33,7 @@ pub mod time;
 pub mod world;
 
 pub use actor::{Actor, ActorId, Ctx, LiveCtxOps};
-pub use event::KernelMsg;
+pub use event::{KernelMsg, QueueKernel};
 pub use fuxi_obs as obs;
 pub use fuxi_obs::{SpanKind, TraceEvent, TraceId, Tracer, TracerConfig};
 pub use failure::{Fault, FaultPlan};

@@ -1,7 +1,7 @@
 //! The world: machines, actors, the event loop, and fault operations.
 
 use crate::actor::{Actor, ActorId, Ctx, CtxBackend};
-use crate::event::{EventKind, EventQueue, KernelMsg};
+use crate::event::{EventKind, EventQueue, KernelMsg, QueueKernel};
 use crate::flow::{FlowDone, FlowNet, FlowSpec};
 use crate::metrics::Metrics;
 use crate::net::NetConfig;
@@ -33,6 +33,10 @@ pub struct WorldConfig {
     pub seed: u64,
     /// Observability configuration (tracer, flight recorder).
     pub obs: TracerConfig,
+    /// Which event-queue kernel to run on. `Calendar` is the default; the
+    /// heap kernel is kept for differential testing — both produce the
+    /// identical `(time, seq)` event stream.
+    pub kernel: QueueKernel,
 }
 
 impl WorldConfig {
@@ -50,6 +54,7 @@ impl WorldConfig {
             net: NetConfig::default(),
             seed,
             obs: TracerConfig::default(),
+            kernel: QueueKernel::default(),
         }
     }
 }
@@ -101,6 +106,9 @@ pub struct WorldCore<M: KernelMsg> {
     /// The causal trace of the message currently being dispatched; sends
     /// and trace events inherit it unless overridden via `Ctx`.
     pub(crate) current_trace: TraceId,
+    /// Total events dispatched by [`World::step`]; the numerator of the
+    /// end-to-end `sim_events_per_sec` throughput benchmark.
+    events_processed: u64,
 }
 
 impl<M: KernelMsg> WorldCore<M> {
@@ -311,7 +319,7 @@ impl<M: KernelMsg> World<M> {
         Self {
             core: WorldCore {
                 time: SimTime::ZERO,
-                queue: EventQueue::new(),
+                queue: EventQueue::with_kernel(cfg.kernel),
                 meta: Vec::new(),
                 machines,
                 rng: SmallRng::seed_from_u64(cfg.seed),
@@ -325,6 +333,7 @@ impl<M: KernelMsg> World<M> {
                 channel_clock: std::collections::HashMap::new(),
                 tracer: Tracer::new(cfg.obs),
                 current_trace: TraceId::NONE,
+                events_processed: 0,
             },
             actors: Vec::new(),
         }
@@ -333,6 +342,11 @@ impl<M: KernelMsg> World<M> {
     /// Now.
     pub fn now(&self) -> SimTime {
         self.core.time
+    }
+
+    /// Total events dispatched by [`World::step`] so far.
+    pub fn events_processed(&self) -> u64 {
+        self.core.events_processed
     }
 
     /// Metrics.
@@ -484,6 +498,7 @@ impl<M: KernelMsg> World<M> {
         };
         debug_assert!(ev.time >= self.core.time, "time must be monotone");
         self.core.time = ev.time;
+        self.core.events_processed += 1;
         match ev.kind {
             EventKind::Deliver { to, from, msg, trace } => {
                 self.core.current_trace = trace;

@@ -1,0 +1,132 @@
+//! Soundness of the free pool's incremental dirty-bound maintenance.
+//!
+//! The fit index keeps a per-rack component-wise max of member free
+//! vectors. Frees widen the bound monotonically (no recompute); shrinks
+//! set a dirty flag *only when they touch the bound in a dimension they
+//! shrank* (see `FreePool::shrink_touches_bound`), deferring the exact
+//! recompute to the next consult. These proptests interleave frees,
+//! shrinks, capacity changes, and node-down/up flaps and assert after
+//! every step that:
+//!
+//! 1. every rack bound is a sound over-approximation of the exact
+//!    component-wise max of its members (and exact whenever clean) —
+//!    via `FreePool::assert_index_consistent`;
+//! 2. the pruning queries never reject a placement a machine could hold
+//!    (no false negatives against a brute-force scan of the free vectors).
+
+use fuxi_core::scheduler::FreePool;
+use fuxi_proto::{MachineId, RackId, ResourceVec, VirtualResourceId};
+use proptest::prelude::*;
+
+const N_RACKS: usize = 3;
+const PER_RACK: usize = 3;
+const N: usize = N_RACKS * PER_RACK;
+/// One virtual resource dimension so the bound maintenance is exercised
+/// beyond the fixed-width cpu/mem struct-of-arrays fast path.
+const GPU: VirtualResourceId = VirtualResourceId(0);
+
+fn base_capacity() -> ResourceVec {
+    ResourceVec::cores_mb(12, 96 * 1024).with_virtual(GPU, 4)
+}
+
+fn grant_unit() -> ResourceVec {
+    ResourceVec::new(500, 2048).with_virtual(GPU, 1)
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Grant up to `k` units on machine `m` (a shrink of its free vector).
+    Take(usize, u64),
+    /// Return up to `k` previously granted units (a free — monotone widen).
+    Give(usize, u64),
+    /// Shrink the machine's schedulable capacity to `num/4` of base.
+    Shrink(usize, u64),
+    /// Node down: capacity drops to zero while grants are still out.
+    NodeDown(usize),
+    /// Node back up at full capacity.
+    NodeUp(usize),
+    /// Consult the index with a probe unit scaled by `k` (forces the lazy
+    /// recompute and checks the answer against a brute-force scan).
+    Probe(u64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0u8..6, 0usize..N, 1u64..5).prop_map(|(which, m, k)| match which {
+        0 => Op::Take(m, k),
+        1 => Op::Give(m, k),
+        2 => Op::Shrink(m, k - 1),
+        3 => Op::NodeDown(m),
+        4 => Op::NodeUp(m),
+        _ => Op::Probe(m as u64 * 5 + k),
+    })
+}
+
+/// Brute force: does any machine (optionally restricted to rack `r`) have
+/// `unit` fitting in its current free vector?
+fn any_fits(pool: &FreePool, unit: &ResourceVec, rack: Option<usize>) -> bool {
+    (0..N)
+        .filter(|m| rack.is_none_or(|r| m / PER_RACK == r))
+        .any(|m| unit.fits_in(pool.free(MachineId(m as u32))))
+}
+
+proptest! {
+    #[test]
+    fn dirty_bounds_stay_sound_under_interleaving(
+        ops in prop::collection::vec(op_strategy(), 1..150),
+    ) {
+        let rack_of: Vec<RackId> = (0..N).map(|m| RackId((m / PER_RACK) as u32)).collect();
+        let mut pool = FreePool::with_racks(vec![base_capacity(); N], rack_of);
+        // Shadow ledger: units granted per machine, for Give/NodeDown.
+        let mut held = [0u64; N];
+        let unit = grant_unit();
+
+        for op in ops {
+            match op {
+                Op::Take(m, k) => {
+                    let mid = MachineId(m as u32);
+                    let can = pool.fits(mid, &unit).min(k);
+                    if can > 0 {
+                        pool.take(mid, &unit, can);
+                        held[m] += can;
+                    }
+                }
+                Op::Give(m, k) => {
+                    let back = held[m].min(k);
+                    if back > 0 {
+                        pool.give(MachineId(m as u32), &unit, back);
+                        held[m] -= back;
+                    }
+                }
+                Op::Shrink(m, q) => {
+                    // q/4 of base capacity: q=0 drains the machine, q=3
+                    // is a mild cut. Reconfigurations below current usage
+                    // exercise the clamped (free = 0) path.
+                    let shrunk = ResourceVec::cores_mb(3 * q, 24 * 1024 * q)
+                        .with_virtual(GPU, q);
+                    pool.set_capacity(MachineId(m as u32), shrunk, &unit.scaled(held[m]));
+                }
+                Op::NodeDown(m) => {
+                    pool.set_capacity(MachineId(m as u32), ResourceVec::ZERO, &unit.scaled(held[m]));
+                }
+                Op::NodeUp(m) => {
+                    pool.set_capacity(MachineId(m as u32), base_capacity(), &unit.scaled(held[m]));
+                }
+                Op::Probe(k) => {
+                    let probe = ResourceVec::new(400, 1800).with_virtual(GPU, 1).scaled(k % 6 + 1);
+                    let exact = any_fits(&pool, &probe, None);
+                    let pruned = pool.cluster_can_fit(&probe);
+                    // Sound pruning: never a false negative. (A true here
+                    // with no fitting machine is allowed — the bound is a
+                    // component-wise max, not a single machine.)
+                    prop_assert!(pruned || !exact, "cluster_can_fit false negative");
+                    for r in 0..N_RACKS {
+                        let exact_r = any_fits(&pool, &probe, Some(r));
+                        let pruned_r = pool.rack_can_fit(RackId(r as u32), &probe);
+                        prop_assert!(pruned_r || !exact_r, "rack_can_fit false negative on rack {r}");
+                    }
+                }
+            }
+            pool.assert_index_consistent();
+        }
+    }
+}
