@@ -55,6 +55,9 @@ pub struct AgentConfig {
     /// Restart crashed workers ("FuxiAgent watches the worker's status and
     /// restarts it if it crashes").
     pub restart_crashed_workers: bool,
+    /// Push an [`fuxi_sim::obs::AgentReport`] to the master on each
+    /// heartbeat (the in-band metrics channel).
+    pub report_metrics: bool,
 }
 
 impl Default for AgentConfig {
@@ -65,6 +68,7 @@ impl Default for AgentConfig {
             capacity_grace: SimDuration::from_secs(3),
             overload_threshold: 1.05,
             restart_crashed_workers: true,
+            report_metrics: true,
         }
     }
 }
@@ -117,6 +121,12 @@ pub struct FuxiAgent {
     binary_cache: BTreeSet<AppId>,
     /// Workers waiting for an in-flight download of their app's binary.
     download_waiters: BTreeMap<AppId, Vec<(WorkerSpec, TraceId)>>,
+    /// Cumulative counters mirrored into each metrics report. Cumulative —
+    /// not per-interval — so a dropped report never loses events: the
+    /// master diffs successive values.
+    worker_starts: u64,
+    worker_exits: u64,
+    launch_failures_total: u64,
 }
 
 impl FuxiAgent {
@@ -148,6 +158,9 @@ impl FuxiAgent {
             beats: 0,
             binary_cache: BTreeSet::new(),
             download_waiters: BTreeMap::new(),
+            worker_starts: 0,
+            worker_exits: 0,
+            launch_failures_total: 0,
         }
     }
 
@@ -198,8 +211,42 @@ impl FuxiAgent {
             recent_launch_failures: self.launch_failures_since_hb,
             speed_factor: ctx.machine_speed(self.m()),
         };
+        // Fold the interval counter into the cumulative total the metrics
+        // reports carry, then reset it for the next health interval.
+        self.launch_failures_total += u64::from(self.launch_failures_since_hb);
         self.launch_failures_since_hb = 0;
         report
+    }
+
+    /// Builds and pushes the in-band metrics report (one per heartbeat).
+    fn send_metrics_report(&mut self, ctx: &mut Ctx<'_, Msg>, load: f64) {
+        let Some(fm) = self.fm else { return };
+        let mut usage = ResourceVec::ZERO;
+        for w in self.workers.values() {
+            usage.add(&proc_usage(&w.spec).usage());
+        }
+        for (_, _, res) in self.jms.values() {
+            usage.add(res);
+        }
+        let report = fuxi_sim::obs::AgentReport {
+            machine: self.m(),
+            t_s: ctx.now().as_secs_f64(),
+            total_cpu_milli: self.total.cpu_milli(),
+            total_mem_mb: self.total.memory_mb(),
+            used_cpu_milli: usage.cpu_milli(),
+            used_mem_mb: usage.memory_mb(),
+            workers: self.workers.len() as u32,
+            worker_starts: self.worker_starts,
+            worker_exits: self.worker_exits,
+            launch_failures: self.launch_failures_total,
+            load,
+        };
+        ctx.send(
+            fm,
+            Msg::MetricsReport {
+                report: fuxi_sim::obs::MetricsReport::Agent(report),
+            },
+        );
     }
 
     // ------------------------------------------------------------------
@@ -358,6 +405,7 @@ impl FuxiAgent {
                 trace,
             },
         );
+        self.worker_starts += 1;
     }
 
     fn running_count(&self, app: AppId, unit: UnitId) -> u64 {
@@ -393,6 +441,7 @@ impl FuxiAgent {
         reason: &'static str,
     ) -> TraceId {
         if let Some(rt) = self.workers.remove(&worker) {
+            self.worker_exits += 1;
             if let (true, Some(actor)) = (kill_actor, rt.actor) {
                 ctx.kill(actor);
             }
@@ -797,6 +846,7 @@ impl Actor<Msg> for FuxiAgent {
             TIMER_HB => {
                 self.resolve_master(ctx);
                 let health = self.health(ctx);
+                let load = health.load;
                 if let Some(fm) = self.fm {
                     ctx.send(
                         fm,
@@ -805,6 +855,9 @@ impl Actor<Msg> for FuxiAgent {
                             health,
                         },
                     );
+                }
+                if self.cfg.report_metrics {
+                    self.send_metrics_report(ctx, load);
                 }
                 self.beats += 1;
                 if self.beats.is_multiple_of(ENVELOPE_REFRESH_BEATS) {

@@ -7,12 +7,20 @@
 //! ```text
 //! cargo run --release -p fuxi-bench --bin bench_live -- \
 //!     [--machines 200] [--jobs 1000] [--seed 2014] [--concurrent 64] \
-//!     [--timeout 600] [--out BENCH_live.json] [--no-kill]
+//!     [--timeout 600] [--out BENCH_live.json] [--no-kill] \
+//!     [--serve 127.0.0.1:9464] [--snapshot-out BENCH_live_view.json]
 //! ```
 //!
+//! `--serve` exposes the live cluster view over HTTP mid-run (`/metrics`
+//! Prometheus text, `/json`) for scraping and `fuxitop`. The output JSON
+//! embeds three cluster-view summaries — pre-kill, during failover, and
+//! post-recovery — and the final full view is written to
+//! `--snapshot-out`.
+//!
 //! Exits non-zero when the run does not complete every job, when the
-//! standby fails to take over after the master kill, or on any actor
-//! panic (propagated at shutdown).
+//! standby fails to take over after the master kill, when the kill raises
+//! no SLO alert (the 4 s pending-age rule must trip during the grant
+//! stall), or on any actor panic (propagated at shutdown).
 
 use fuxi_cluster::{ClusterConfig, SubmitOpts};
 use fuxi_core::master::MasterConfig;
@@ -29,6 +37,8 @@ struct LiveArgs {
     timeout_s: u64,
     out: String,
     kill_master: bool,
+    serve: Option<String>,
+    snapshot_out: String,
 }
 
 fn parse_args() -> LiveArgs {
@@ -40,6 +50,8 @@ fn parse_args() -> LiveArgs {
         timeout_s: 600,
         out: "BENCH_live.json".to_owned(),
         kill_master: true,
+        serve: None,
+        snapshot_out: "BENCH_live_view.json".to_owned(),
     };
     let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -74,6 +86,14 @@ fn parse_args() -> LiveArgs {
                 a.kill_master = false;
                 i += 1;
             }
+            "--serve" => {
+                a.serve = argv.get(i + 1).cloned();
+                i += 2;
+            }
+            "--snapshot-out" => {
+                a.snapshot_out = argv.get(i + 1).cloned().unwrap_or(a.snapshot_out);
+                i += 2;
+            }
             other => {
                 eprintln!("ignoring unknown argument {other}");
                 i += 1;
@@ -104,13 +124,20 @@ fn live_job(seed: u64, i: usize) -> fuxi_job::JobDesc {
 fn main() {
     fuxi_bench::warn_if_debug();
     let args = parse_args();
-    // Short lease so the standby takes over within a couple of seconds of
-    // the live master kill (defaults are tuned for simulated hours).
-    let master = MasterConfig {
-        lease_ttl: SimDuration::from_secs_f64(1.5),
-        keepalive_interval: SimDuration::from_secs_f64(0.5),
+    // Short lease so the standby takes over within a few seconds of the
+    // live master kill (defaults are tuned for simulated hours) — but not
+    // so short that scheduling hiccups on an oversubscribed CI host cost
+    // the primary its lease before the scripted kill: a spurious
+    // self-fence leaves no standby for the real one.
+    let mut master = MasterConfig {
+        lease_ttl: SimDuration::from_secs_f64(3.0),
+        keepalive_interval: SimDuration::from_secs_f64(1.0),
         ..MasterConfig::default()
     };
+    // A master kill stalls granting for lease-loss (~3 s) + the 8 s
+    // rebuild window; a 4 s pending-age SLO turns that stall into a
+    // watchdog alert the run can assert on.
+    master.metrics.rules.pending_age_s = 4.0;
     let mut c = LiveCluster::new(ClusterConfig {
         n_machines: args.machines,
         rack_size: 50.min(args.machines.max(1)),
@@ -123,6 +150,10 @@ fn main() {
         "bench_live: {} machines, {} jobs ({} in flight), master kill: {}",
         args.machines, args.jobs, args.concurrent, args.kill_master
     );
+    if let Some(addr) = &args.serve {
+        let bound = c.serve_metrics(addr).expect("bind scrape endpoint");
+        eprintln!("bench_live: serving http://{bound}/metrics and http://{bound}/json");
+    }
 
     let start = Instant::now();
     let deadline = start + Duration::from_secs(args.timeout_s);
@@ -131,6 +162,11 @@ fn main() {
     let mut killed_master = None;
     let mut failover_recovered = !args.kill_master;
     let mut timed_out = false;
+    // Cluster-view snapshots bracketing the failover: just before the
+    // kill, when the standby takes over (mid-rebuild, granting still
+    // stalled), and after the run drains.
+    let mut view_pre_kill = None;
+    let mut view_during_failover = None;
 
     while c.finished_count() < args.jobs {
         while submitted < args.jobs && submitted - c.finished_count() < args.concurrent {
@@ -147,6 +183,7 @@ fn main() {
                     start.elapsed().as_secs_f64(),
                     c.finished_count()
                 );
+                view_pre_kill = Some(c.hub.snapshot());
                 c.kill_primary_master();
             }
         }
@@ -160,6 +197,7 @@ fn main() {
                             start.elapsed().as_secs_f64()
                         );
                         failover_recovered = true;
+                        view_during_failover = Some(c.hub.snapshot());
                     }
                 }
             }
@@ -178,6 +216,7 @@ fn main() {
         .iter()
         .filter(|(_, s)| matches!(s.done, Some((false, _, _))))
         .count();
+    let view_post = c.hub.snapshot();
     let (metrics, _tracer) = c.shutdown();
 
     let msgs = metrics.counter("net.sent");
@@ -192,7 +231,13 @@ fn main() {
             "  \"jobs_per_sec\": {:.3},\n  \"msgs_per_sec\": {:.1},\n",
             "  \"sched_p50_s\": {:.6},\n  \"sched_p99_s\": {:.6},\n",
             "  \"mailbox_hwm\": {},\n  \"mailbox_parked\": {},\n",
-            "  \"master_killed\": {},\n  \"failover_recovered\": {}\n",
+            "  \"master_killed\": {},\n  \"failover_recovered\": {},\n",
+            "  \"slo_alerts_total\": {},\n",
+            "  \"cluster_view\": {{\n",
+            "    \"pre_kill\": {},\n",
+            "    \"during_failover\": {},\n",
+            "    \"post_recovery\": {}\n",
+            "  }}\n",
             "}}\n"
         ),
         args.machines,
@@ -208,10 +253,15 @@ fn main() {
         metrics.counter("rt.mailbox_parked"),
         killed_master.is_some(),
         failover_recovered,
+        view_post.alerts_total,
+        view_pre_kill.as_ref().map_or("null".to_owned(), |v| v.summary_json()),
+        view_during_failover.as_ref().map_or("null".to_owned(), |v| v.summary_json()),
+        view_post.summary_json(),
     );
     std::fs::write(&args.out, &json).expect("write BENCH_live.json");
+    std::fs::write(&args.snapshot_out, view_post.to_json()).expect("write view snapshot");
     println!("{json}");
-    eprintln!("bench_live: wrote {}", args.out);
+    eprintln!("bench_live: wrote {} and {}", args.out, args.snapshot_out);
 
     if timed_out {
         eprintln!(
@@ -226,6 +276,17 @@ fn main() {
     }
     if completed < args.jobs {
         eprintln!("bench_live: FAIL — only {completed}/{} jobs completed", args.jobs);
+        std::process::exit(1);
+    }
+    // The ~11 s grant stall (lease loss + rebuild) must have tripped the
+    // 4 s pending-age SLO: a kill that raises no alert means the watchdog
+    // or the report plane is broken.
+    if killed_master.is_some() && view_post.alerts_total == 0 {
+        eprintln!("bench_live: FAIL — master kill raised no SLO alert in the cluster view");
+        std::process::exit(1);
+    }
+    if view_post.reports_received == 0 {
+        eprintln!("bench_live: FAIL — master ingested zero metrics reports");
         std::process::exit(1);
     }
 }

@@ -22,6 +22,10 @@
 //! both. It exits non-zero if the instrumented median regresses more than
 //! 5%, and writes a `trace_sample.jsonl` (next to the output file) from
 //! the traced run for CI artifact upload / `trace_dump` smoke tests.
+//!
+//! A second overhead pair does the same for the live metrics plane
+//! (windowed series + in-band reports + master rollup) on vs off, with the
+//! same 5% budget on the scheduling median (`metrics_plane_overhead`).
 
 use criterion::{black_box, Criterion};
 use fuxi_bench::{scenarios, Args};
@@ -120,6 +124,51 @@ fn measure_tracing_overhead(quick: bool) -> TracingOverhead {
         traced_count,
         ratio: traced_median_s / untraced_median_s.max(1e-12),
         sample_jsonl: export_jsonl(traced.cluster.world.tracer()),
+    }
+}
+
+/// Metrics-plane tax on the same decision path: two otherwise-identical
+/// synthetic runs with the windowed/rollup/report plane on and off.
+struct PlaneOverhead {
+    on_median_s: f64,
+    off_median_s: f64,
+    on_count: u64,
+    /// Reports the master ingested during the plane-on run — proves the
+    /// "on" leg actually exercised the aggregation path.
+    reports_received: u64,
+    /// on / off median — the metrics-plane tax on the hot path.
+    ratio: f64,
+}
+
+fn measure_plane_overhead(quick: bool) -> PlaneOverhead {
+    let args = Args {
+        scale: if quick { 0.005 } else { 0.02 },
+        duration_s: if quick { 120 } else { 300 },
+        seed: 2014,
+        trace_out: None,
+    };
+    // Tracing off in both legs so this isolates the metrics plane alone.
+    let obs = || TracerConfig { enabled: false, ..TracerConfig::default() };
+    let median = |out: &fuxi_bench::SyntheticOutcome| {
+        let h = out.cluster.world.metrics().histogram("fm.sched_s").expect("sched happened");
+        (h.quantile(0.5), h.count())
+    };
+    let plane_off = fuxi_sim::obs::MetricsPlaneConfig { enabled: false, ..Default::default() };
+    let off = fuxi_bench::run_synthetic_experiment_with_plane(&args, obs(), plane_off);
+    let on = fuxi_bench::run_synthetic_experiment_with_plane(
+        &args,
+        obs(),
+        fuxi_sim::obs::MetricsPlaneConfig::default(),
+    );
+    let (off_median_s, _) = median(&off);
+    let (on_median_s, on_count) = median(&on);
+    let reports_received = on.cluster.hub.snapshot().reports_received;
+    PlaneOverhead {
+        on_median_s,
+        off_median_s,
+        on_count,
+        reports_received,
+        ratio: on_median_s / off_median_s.max(1e-12),
     }
 }
 
@@ -243,6 +292,17 @@ fn main() {
          \"traced_decisions\": {},\n    \"traced_over_untraced\": {:.4}\n",
         ovh.untraced_median_s, ovh.traced_median_s, ovh.traced_count, ovh.ratio
     ));
+    json.push_str("  },\n");
+
+    println!("\nmeasuring metrics-plane overhead (two synthetic runs)...");
+    let plane = measure_plane_overhead(quick);
+    json.push_str("  \"metrics_plane_overhead\": {\n");
+    json.push_str(&format!(
+        "    \"plane_off_median_s\": {:.9},\n    \"plane_on_median_s\": {:.9},\n    \
+         \"plane_on_decisions\": {},\n    \"reports_received\": {},\n    \
+         \"on_over_off\": {:.4}\n",
+        plane.off_median_s, plane.on_median_s, plane.on_count, plane.reports_received, plane.ratio
+    ));
     json.push_str("  }\n}\n");
 
     std::fs::write(&out_path, &json).expect("write snapshot");
@@ -292,6 +352,26 @@ fn main() {
         eprintln!(
             "FAIL: tracing overhead {:.1}% exceeds the 5% budget on the fig9 median",
             (ovh.ratio - 1.0) * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!(
+        "  metrics plane median: {:.2} us off vs {:.2} us on ({:.1}% overhead, {} reports ingested)",
+        plane.off_median_s * 1e6,
+        plane.on_median_s * 1e6,
+        (plane.ratio - 1.0) * 100.0,
+        plane.reports_received
+    );
+    assert!(
+        plane.reports_received > 0,
+        "plane-on run must ingest at least one metrics report"
+    );
+    // The acceptance gate: windowed metrics + in-band reports + rollup must
+    // not slow the decision path >5% either.
+    if plane.ratio > 1.05 {
+        eprintln!(
+            "FAIL: metrics-plane overhead {:.1}% exceeds the 5% budget on the sched median",
+            (plane.ratio - 1.0) * 100.0
         );
         std::process::exit(1);
     }

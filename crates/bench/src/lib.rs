@@ -120,16 +120,32 @@ pub fn run_synthetic_experiment_with_obs(
     args: &Args,
     obs: fuxi_sim::TracerConfig,
 ) -> SyntheticOutcome {
+    run_synthetic_experiment_with_plane(args, obs, fuxi_sim::obs::MetricsPlaneConfig::default())
+}
+
+/// [`run_synthetic_experiment`] with explicit tracer *and* metrics-plane
+/// configuration. `plane.enabled = false` turns off the master rollup,
+/// report ingestion, and the agent/JobMaster report senders together —
+/// the plane-on vs plane-off overhead comparison flips exactly this.
+pub fn run_synthetic_experiment_with_plane(
+    args: &Args,
+    obs: fuxi_sim::TracerConfig,
+    plane: fuxi_sim::obs::MetricsPlaneConfig,
+) -> SyntheticOutcome {
     let machines = ((5000.0 * args.scale).round() as usize).max(20);
     let concurrent = ((1000.0 * args.scale).round() as usize).max(4);
-    let mut cluster = Cluster::new(ClusterConfig {
+    let mut cfg = ClusterConfig {
         n_machines: machines,
         rack_size: 50,
         machine_spec: synthetic_machine_spec(),
         seed: args.seed,
         obs,
         ..ClusterConfig::default()
-    });
+    };
+    cfg.agent.report_metrics = plane.enabled;
+    cfg.jm.report_metrics = plane.enabled;
+    cfg.master.metrics = plane;
+    let mut cluster = Cluster::new(cfg);
     // Large jobs saturate the scaled cluster exactly as in the paper; cap
     // the per-job worker count so thousands of jobs share the cluster.
     let mut mix = SyntheticMix::new(args.seed, 1.0);

@@ -200,6 +200,10 @@ pub struct Cluster {
     pub world: World<Msg>,
     /// Shared name service.
     pub naming: NameRegistry,
+    /// Shared cluster metrics view (the scrape endpoint and `fuxitop`
+    /// read this; the primary master writes it). Survives failover for
+    /// the same reason the name registry does.
+    pub hub: fuxi_sim::obs::MetricsHub,
     /// Shared checkpoint store.
     pub store: StoreHandle,
     /// Shared DFS model.
@@ -277,7 +281,10 @@ impl Cluster {
             ))
         });
 
-        // Masters: primary (+ optional hot standby).
+        // Masters: primary (+ optional hot standby). Both share one hub —
+        // a promoted standby inherits the pending-age clocks and alert
+        // history of the master it replaces.
+        let hub = fuxi_sim::obs::MetricsHub::new(cfg.master.metrics.window_s);
         let mut masters = Vec::new();
         let n_masters = if cfg.standby_master { 2 } else { 1 };
         for _ in 0..n_masters {
@@ -289,6 +296,7 @@ impl Cluster {
                     naming.clone(),
                     store.clone(),
                     lock,
+                    hub.clone(),
                 )),
             );
             masters.push(m);
@@ -330,6 +338,7 @@ impl Cluster {
         Self {
             world,
             naming,
+            hub,
             store,
             pangu,
             topo,
@@ -477,6 +486,7 @@ impl Cluster {
                 self.naming.clone(),
                 self.store.clone(),
                 self.lock,
+                self.hub.clone(),
             )),
         );
         self.masters.push(m);

@@ -31,8 +31,11 @@ use fuxi_apsara::{NameRegistry, StoreHandle};
 use fuxi_proto::msg::{AppDescription, SeqCheck, SeqReceiver, SeqSender};
 use fuxi_proto::request::{GrantDelta, RequestDelta};
 use fuxi_proto::topology::Topology;
+use fuxi_obs::{MasterRollup, MetricsHub, MetricsPlaneConfig, SloAlert, SloWatchdog, WindowRing};
 use fuxi_proto::{AppId, JobId, MachineId, Msg, QuotaGroupId, UnitId};
-use fuxi_sim::{Actor, ActorId, Ctx, SimDuration, SimTime, SpanKind, TraceEvent, TraceId};
+use fuxi_sim::{
+    Actor, ActorId, Ctx, SimDuration, SimTime, SpanKind, TraceEvent, TraceId, WindowedHistogram,
+};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// FuxiMaster tuning.
@@ -55,6 +58,10 @@ pub struct MasterConfig {
     pub blacklist: BlacklistConfig,
     /// Quota groups to install (group 0 always exists, unlimited).
     pub quota_groups: Vec<(QuotaGroupId, QuotaGroup)>,
+    /// Metrics-plane tuning: windowed rollup cadence and SLO thresholds.
+    /// `metrics.enabled = false` turns the whole plane off (the overhead
+    /// benchmark compares exactly this toggle).
+    pub metrics: MetricsPlaneConfig,
 }
 
 impl Default for MasterConfig {
@@ -68,6 +75,7 @@ impl Default for MasterConfig {
             engine: EngineConfig::default(),
             blacklist: BlacklistConfig::default(),
             quota_groups: Vec::new(),
+            metrics: MetricsPlaneConfig::default(),
         }
     }
 }
@@ -83,6 +91,7 @@ const TIMER_KEEPALIVE: u64 = 1;
 const TIMER_BATCH: u64 = 2;
 const TIMER_ROLLUP: u64 = 3;
 const TIMER_REBUILD_DONE: u64 = 4;
+const TIMER_METRICS: u64 = 5;
 
 #[derive(Debug)]
 struct JobRuntime {
@@ -121,6 +130,25 @@ pub struct FuxiMaster {
     /// Reused event buffer for [`Self::flush_engine`]: the engine swaps its
     /// decision log into this, so steady-state flushes allocate nothing.
     scratch_events: Vec<EngineEvent>,
+    /// Shared cluster view fed by agent/JM reports and the master's own
+    /// rollup. Like the name registry, the hub is cluster infrastructure:
+    /// it outlives any single master, so pending-age clocks keep running
+    /// across a failover.
+    hub: MetricsHub,
+    /// Edge-triggered SLO evaluation state (per-rule active flags).
+    watchdog: SloWatchdog,
+    /// Scheduling-decision latencies bucketed into time windows; the
+    /// rollup reads p50/p95/p99 over the retained horizon. Kept on the
+    /// actor (not in `ctx.metrics()`) so the live runtime's periodic
+    /// per-thread metric flush cannot steal it mid-window.
+    sched_win: WindowedHistogram,
+    /// Job completions per window, for the jobs/sec rate.
+    jobs_done_win: WindowRing,
+    /// Cumulative submit/finish counters mirrored into each rollup.
+    jobs_submitted_total: u64,
+    jobs_finished_total: u64,
+    /// This master's election ordinal (1 = first primary), from the hub.
+    epoch: u32,
 }
 
 impl FuxiMaster {
@@ -131,9 +159,18 @@ impl FuxiMaster {
         naming: NameRegistry,
         store: StoreHandle,
         lock_svc: ActorId,
+        hub: MetricsHub,
     ) -> Self {
         let n = topo.n_machines();
+        let (w, r) = (cfg.metrics.window_s, cfg.metrics.retain);
         Self {
+            hub,
+            watchdog: SloWatchdog::default(),
+            sched_win: WindowedHistogram::new(w, r),
+            jobs_done_win: WindowRing::new(w, r),
+            jobs_submitted_total: 0,
+            jobs_finished_total: 0,
+            epoch: 0,
             cfg,
             topo,
             naming,
@@ -216,6 +253,19 @@ impl FuxiMaster {
         });
         ctx.timer(self.cfg.batch_interval, TIMER_BATCH);
         ctx.timer(self.cfg.rollup_interval, TIMER_ROLLUP);
+        if self.cfg.metrics.enabled {
+            // The hub survives failover (it is cluster infrastructure, not
+            // master state), so the election ordinal is stored there: a new
+            // primary continues the count instead of restarting at one.
+            self.epoch = self.hub.update(|v| {
+                v.rollup.master_epoch += 1;
+                v.rollup.master_epoch
+            });
+            ctx.timer(
+                SimDuration::from_secs_f64(self.cfg.metrics.window_s),
+                TIMER_METRICS,
+            );
+        }
         if had_jobs {
             // Failover: collect soft state before scheduling resumes.
             self.role = Role::Rebuilding;
@@ -331,6 +381,7 @@ impl FuxiMaster {
             self.launch_jm(ctx, job);
         }
         ctx.metrics().count("fm.jobs_submitted", 1);
+        self.jobs_submitted_total += 1;
     }
 
     fn launch_jm(&mut self, ctx: &mut Ctx<'_, Msg>, job: JobId) {
@@ -419,6 +470,10 @@ impl FuxiMaster {
             },
         );
         ctx.metrics().count("fm.jobs_finished", 1);
+        self.jobs_finished_total += 1;
+        if self.cfg.metrics.enabled {
+            self.jobs_done_win.observe(ctx.now().as_secs_f64(), 1.0);
+        }
     }
 
     // ------------------------------------------------------------------
@@ -428,6 +483,9 @@ impl FuxiMaster {
     fn record_sched(&mut self, ctx: &mut Ctx<'_, Msg>, t: std::time::Instant) {
         let dt = t.elapsed().as_secs_f64();
         let now = ctx.now().as_secs_f64();
+        if self.cfg.metrics.enabled {
+            self.sched_win.record(now, dt);
+        }
         let m = ctx.metrics();
         m.record("fm.sched_s", dt);
         m.push_series("fm.sched_ms", now, dt * 1e3);
@@ -650,6 +708,72 @@ impl FuxiMaster {
         }
     }
 
+    /// Once-per-window metrics rollup (Section 3.4's "roll-up manner"
+    /// applied to observability): folds the master's own scheduler readings
+    /// into the shared [`ClusterView`], evaluates the SLO watchdog, and
+    /// turns each raise/clear transition into a typed trace event — plus a
+    /// flight-recorder dump on raises, so every breach comes with the
+    /// timeline that led into it.
+    fn metrics_tick(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let now = ctx.now().as_secs_f64();
+        let engine = self.engine.as_ref().unwrap();
+        let total = engine.total_capacity();
+        let planned = engine.planned().clone();
+        let (free, stranded, largest) =
+            engine.free_summary(self.cfg.metrics.frag_probe_mem_mb);
+        let sched = self.sched_win.merged();
+        let rollup = MasterRollup {
+            t_s: now,
+            jobs_per_sec: self.jobs_done_win.rate_per_sec(now),
+            jobs_submitted_total: self.jobs_submitted_total,
+            jobs_finished_total: self.jobs_finished_total,
+            sched_p50_s: sched.quantile(0.5),
+            sched_p95_s: sched.quantile(0.95),
+            sched_p99_s: sched.quantile(0.99),
+            sched_count_win: sched.count(),
+            total_cpu_milli: total.cpu_milli(),
+            total_mem_mb: total.memory_mb(),
+            planned_cpu_milli: planned.cpu_milli(),
+            planned_mem_mb: planned.memory_mb(),
+            waiting_entries: engine.waiting_entries() as u64,
+            free_mem_mb: free,
+            stranded_free_mem_mb: stranded,
+            largest_free_mem_mb: largest,
+            master_epoch: self.epoch,
+        };
+        let watchdog = &mut self.watchdog;
+        let rules = &self.cfg.metrics.rules;
+        let transitions: Vec<SloAlert> = self.hub.update(|v| {
+            v.apply_rollup(rollup);
+            let tr = watchdog.evaluate(rules, v, now);
+            v.apply_alerts(&tr);
+            tr
+        });
+        for a in &transitions {
+            // Alerts are cluster-wide conditions, not per-job causality.
+            ctx.trace_as(
+                TraceId::NONE,
+                TraceEvent::SloAlert {
+                    rule: a.rule.name(),
+                    raised: a.raised,
+                    value: a.value as f32,
+                    threshold: a.threshold as f32,
+                },
+            );
+            ctx.metrics().count(
+                if a.raised {
+                    "fm.slo_raised"
+                } else {
+                    "fm.slo_cleared"
+                },
+                1,
+            );
+            if a.raised {
+                ctx.flight_dump(a.rule.dump_reason());
+            }
+        }
+    }
+
     // ------------------------------------------------------------------
     // Per-message handlers
     // ------------------------------------------------------------------
@@ -803,6 +927,17 @@ impl Actor<Msg> for FuxiMaster {
                 // Standby holds no state; peers discover the primary via
                 // naming, so anything arriving here is stale. Drop it.
                 ctx.metrics().count("fm.standby_dropped", 1);
+            }
+            // In-band aggregation: agents and JobMasters push compact
+            // windowed readings over the same transport as heartbeats.
+            // Counters in the report are cumulative, so a lost or
+            // reordered report only delays the view, never skews it.
+            // (With the plane disabled the report falls through to the
+            // catch-all and is dropped.)
+            Msg::MetricsReport { report } if self.cfg.metrics.enabled => {
+                let now = ctx.now().as_secs_f64();
+                self.hub.update(|v| v.apply_report(now, &report));
+                ctx.metrics().count("fm.metrics_reports", 1);
             }
             Msg::SubmitJob { job, desc, client } => self.submit_job(ctx, job, desc, client),
             Msg::StopJob { job } => {
@@ -1032,6 +1167,14 @@ impl Actor<Msg> for FuxiMaster {
                     ctx.timer(self.cfg.rollup_interval, TIMER_ROLLUP);
                 }
             TIMER_REBUILD_DONE => self.finish_rebuild(ctx),
+            TIMER_METRICS
+                if self.role != Role::Standby => {
+                    self.metrics_tick(ctx);
+                    ctx.timer(
+                        SimDuration::from_secs_f64(self.cfg.metrics.window_s),
+                        TIMER_METRICS,
+                    );
+                }
             _ => {}
         }
     }

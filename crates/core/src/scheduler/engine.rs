@@ -1150,4 +1150,25 @@ impl Engine {
     pub fn apps_count(&self) -> usize {
         self.apps.len()
     }
+
+    /// Free-pool fragmentation summary for the metrics plane:
+    /// `(free_mem_mb, stranded_mem_mb, largest_free_mem_mb)` where
+    /// *stranded* is free memory sitting on machines whose free share is
+    /// below `probe_mem_mb` (too small to fit a standard container, so it
+    /// exists but can't be granted as one). One O(machines) scan — called
+    /// once per metrics window, not on the decision path.
+    pub fn free_summary(&self, probe_mem_mb: u64) -> (u64, u64, u64) {
+        let mut free = 0u64;
+        let mut stranded = 0u64;
+        let mut largest = 0u64;
+        for i in 0..self.free.n_machines() {
+            let mem = self.free.free(MachineId(i as u32)).memory_mb();
+            free += mem;
+            if mem < probe_mem_mb {
+                stranded += mem;
+            }
+            largest = largest.max(mem);
+        }
+        (free, stranded, largest)
+    }
 }

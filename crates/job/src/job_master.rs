@@ -67,6 +67,9 @@ pub struct JobMasterConfig {
     /// resource manager has to conduct additional rounds of rescheduling").
     /// The ablation benchmarks flip this.
     pub container_reuse: bool,
+    /// Push a [`fuxi_sim::obs::JobReport`] to FuxiMaster on the
+    /// housekeeping cadence (the in-band metrics channel).
+    pub report_metrics: bool,
 }
 
 impl Default for JobMasterConfig {
@@ -84,6 +87,7 @@ impl Default for JobMasterConfig {
             launch_failures_to_avoid: 2,
             worker_start_timeout_s: 300.0,
             container_reuse: true,
+            report_metrics: true,
         }
     }
 }
@@ -1134,6 +1138,38 @@ impl JobMaster {
         }
         s
     }
+
+    /// Pushes the in-band metrics report to the current master. Instance
+    /// counters are cumulative, so a report lost to failover or reordering
+    /// only delays the cluster view, never skews it.
+    fn send_metrics_report(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let Some(fm) = self.fm else { return };
+        let s = self.summary();
+        let pending: u64 = self
+            .tms
+            .iter()
+            .flatten()
+            .map(|tm| tm.pending_count() as u64)
+            .sum();
+        let report = fuxi_sim::obs::JobReport {
+            app: self.app.0,
+            job: self.job.0,
+            t_s: ctx.now().as_secs_f64(),
+            tasks_total: s.tasks_total,
+            tasks_finished: s.tasks_finished,
+            instances_total: s.instances_total,
+            instances_running: s.instances_running,
+            instances_finished: s.instances_finished,
+            workers_active: s.workers_active,
+            pending_instances: pending,
+        };
+        ctx.send(
+            fm,
+            Msg::MetricsReport {
+                report: fuxi_sim::obs::MetricsReport::Job(report),
+            },
+        );
+    }
 }
 
 impl Actor<Msg> for JobMaster {
@@ -1502,6 +1538,9 @@ impl Actor<Msg> for JobMaster {
                         }
                     }
                     self.flush_snapshot();
+                }
+                if self.cfg.report_metrics && self.state != JmState::Done {
+                    self.send_metrics_report(ctx);
                 }
                 ctx.timer(self.cfg.housekeeping_interval, TIMER_HOUSEKEEPING);
             }

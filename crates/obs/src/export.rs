@@ -26,6 +26,13 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Renders `s` as a complete JSON string literal, quotes included — the
+/// one escaping path shared by every hand-rolled JSON emitter (metrics
+/// snapshots, the cluster-view exposition, the JSONL exporters).
+pub fn json_string(s: &str) -> String {
+    format!("\"{}\"", json_escape(s))
+}
+
 /// One JSONL line for an event record (no trailing newline).
 pub fn record_line(r: &TraceRecord) -> String {
     let mut s = String::with_capacity(96);

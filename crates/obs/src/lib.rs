@@ -23,7 +23,16 @@
 
 pub mod export;
 pub mod recorder;
+pub mod slo;
 pub mod trace;
+pub mod view;
+pub mod window;
 
 pub use recorder::{FlightDump, FlightRing, Tracer, TracerConfig};
+pub use slo::{SloAlert, SloRuleKind, SloRules, SloWatchdog};
 pub use trace::{SpanKind, SpanRecord, TraceEvent, TraceId, TraceRecord};
+pub use view::{
+    AgentReport, ClusterView, JobReport, MasterRollup, MetricsHub, MetricsPlaneConfig,
+    MetricsReport,
+};
+pub use window::{WindowAgg, WindowRing};

@@ -200,6 +200,17 @@ pub enum TraceEvent {
         /// Events captured across all dumped rings.
         events: u32,
     },
+    /// An SLO watchdog rule crossed its threshold (either direction).
+    SloAlert {
+        /// Stable rule name (see [`crate::slo::SloRuleKind::name`]).
+        rule: &'static str,
+        /// `true` = breach began, `false` = breach cleared.
+        raised: bool,
+        /// Observed value at the transition (rule-specific unit).
+        value: f32,
+        /// Configured threshold.
+        threshold: f32,
+    },
 }
 
 impl TraceEvent {
@@ -226,6 +237,7 @@ impl TraceEvent {
             TraceEvent::RebuildStarted { .. } => "rebuild_started",
             TraceEvent::RebuildDone { .. } => "rebuild_done",
             TraceEvent::FlightDumped { .. } => "flight_dumped",
+            TraceEvent::SloAlert { .. } => "slo_alert",
         }
     }
 
@@ -316,6 +328,17 @@ impl TraceEvent {
             }
             TraceEvent::FlightDumped { reason, events } => {
                 let _ = write!(out, ",\"reason\":\"{reason}\",\"events\":{events}");
+            }
+            TraceEvent::SloAlert {
+                rule,
+                raised,
+                value,
+                threshold,
+            } => {
+                let _ = write!(
+                    out,
+                    ",\"rule\":\"{rule}\",\"raised\":{raised},\"value\":{value},\"threshold\":{threshold}"
+                );
             }
         }
     }

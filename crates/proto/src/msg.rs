@@ -223,6 +223,14 @@ pub enum Msg {
         /// All capacity changes for this agent from one flush.
         changes: Vec<CapacityChange>,
     },
+    /// FA/JM → FM on the status-heartbeat cadence: compact telemetry for
+    /// the live metrics plane. Counters inside are cumulative, so a lost
+    /// report skews nothing once the next one lands — the same
+    /// incremental-update idiom as the resource-state reports.
+    MetricsReport {
+        /// The agent- or job-level payload.
+        report: fuxi_obs::MetricsReport,
+    },
     /// FA → FM during master failover: full per-app allocation on this
     /// machine (Figure 7: "each FuxiAgent re-sends the resource allocation
     /// on this machine for each application master").

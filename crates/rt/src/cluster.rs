@@ -119,6 +119,8 @@ pub struct LiveCluster {
     pub agents: Vec<ActorId>,
     /// Submitting client's actor address.
     pub client: ActorId,
+    /// Shared cluster metrics view — what the scrape endpoint serves.
+    pub hub: fuxi_sim::obs::MetricsHub,
     log: ClientLog,
     next_job: u32,
 }
@@ -177,6 +179,11 @@ impl LiveCluster {
             ))
         });
 
+        // Both masters share one hub, and the runtime's clock thread
+        // samples mailbox depths into the same view (satellite: queue
+        // gauges are windowed series, not just a high-water mark).
+        let hub = fuxi_sim::obs::MetricsHub::new(cfg.master.metrics.window_s);
+        rt.attach_hub(hub.clone());
         let mut masters = Vec::new();
         let n_masters = if cfg.standby_master { 2 } else { 1 };
         for _ in 0..n_masters {
@@ -188,6 +195,7 @@ impl LiveCluster {
                     naming.clone(),
                     store.clone(),
                     lock,
+                    hub.clone(),
                 )),
             );
             masters.push(m);
@@ -229,9 +237,16 @@ impl LiveCluster {
             masters,
             agents,
             client,
+            hub,
             log,
             next_job: 1,
         }
+    }
+
+    /// Starts the HTTP scrape endpoint on `addr` (e.g. `"127.0.0.1:9090"`)
+    /// serving this cluster's view; returns the bound address.
+    pub fn serve_metrics(&self, addr: &str) -> std::io::Result<std::net::SocketAddr> {
+        crate::scrape::serve(self.hub.clone(), addr)
     }
 
     /// Submits a job description; returns its id immediately.

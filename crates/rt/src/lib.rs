@@ -12,6 +12,8 @@
 //!   on a dedicated clock thread;
 //! * [`cluster`] — [`cluster::LiveCluster`]: the full Fuxi stack wired
 //!   exactly like the simulated harness, driven by the same config;
+//! * [`scrape`] — an HTTP endpoint (`/metrics` Prometheus text, `/json`)
+//!   serving the live cluster view;
 //! * [`mailbox`], [`timer`] — the underlying building blocks;
 //! * [`transport`] (feature `tcp-loopback`) — length-prefixed framing
 //!   over `std::net` loopback sockets.
@@ -19,6 +21,7 @@
 pub mod cluster;
 pub mod mailbox;
 pub mod runtime;
+pub mod scrape;
 pub mod timer;
 #[cfg(feature = "tcp-loopback")]
 pub mod transport;

@@ -48,6 +48,11 @@ pub struct RuntimeConfig {
     pub mailbox_capacity: usize,
     /// Timer-wheel granularity.
     pub timer_tick: Duration,
+    /// How often each actor thread folds its private metrics into the
+    /// runtime-global sink (and the clock thread samples mailbox depths).
+    /// Sub-second values make the scrape endpoint near-live; the shutdown
+    /// merge still catches whatever accumulated since the last flush.
+    pub metrics_flush: Duration,
 }
 
 impl Default for RuntimeConfig {
@@ -58,6 +63,7 @@ impl Default for RuntimeConfig {
             obs: TracerConfig::default(),
             mailbox_capacity: 8192,
             timer_tick: Duration::from_millis(2),
+            metrics_flush: Duration::from_secs(1),
         }
     }
 }
@@ -149,6 +155,9 @@ struct Shared<M: KernelMsg + Send> {
     /// Runtime-global sinks: fault events, external sends, shutdown merge.
     metrics: Mutex<Metrics>,
     tracer: Mutex<Tracer>,
+    /// Cluster metrics view, if a harness attached one: the clock thread
+    /// samples mailbox pressure into it alongside the windowed series.
+    hub: Mutex<Option<fuxi_obs::MetricsHub>>,
 }
 
 impl<M: KernelMsg + Send + 'static> Shared<M> {
@@ -234,6 +243,38 @@ impl<M: KernelMsg + Send + 'static> Shared<M> {
             .get(id.0 as usize)
             .and_then(|s| s.machine)
     }
+
+    /// Samples mailbox pressure: per-actor depth gauges for non-empty
+    /// queues, the global depth/high-water gauges, a windowed depth series
+    /// (so a pressure spike between scrapes still shows up), and — when a
+    /// hub is attached — the cluster view's mailbox fields.
+    fn sample_mailboxes(&self) {
+        let t = self.now().as_secs_f64();
+        let mut total = 0usize;
+        let mut hwm = 0usize;
+        {
+            let slots = self.slots.read().unwrap();
+            let mut metrics = self.metrics.lock().unwrap();
+            for (i, s) in slots.iter().enumerate() {
+                hwm = hwm.max(s.gauges.hwm());
+                let depth = s.gauges.depth();
+                if s.alive && depth > 0 {
+                    metrics.gauge_set(&format!("rt.mailbox_depth.a{i}"), depth as f64);
+                    total += depth;
+                }
+            }
+            metrics.gauge_set("rt.mailbox_depth", total as f64);
+            metrics.gauge_max("rt.mailbox_hwm", hwm as f64);
+            metrics.window_sample("rt.mailbox_depth.w", t, total as f64);
+        }
+        let hub = self.hub.lock().unwrap().clone();
+        if let Some(hub) = hub {
+            hub.update(|v| {
+                v.mailbox_depth = total as u64;
+                v.mailbox_hwm = v.mailbox_hwm.max(hwm as u64);
+            });
+        }
+    }
 }
 
 /// One actor's event loop. Runs on a dedicated thread until killed; returns
@@ -251,6 +292,7 @@ fn actor_thread<M: KernelMsg + Send + 'static>(
         .seed
         .wrapping_add(u64::from(id.0).wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let obs = shared.cfg.obs.clone();
+    let flush_every = shared.cfg.metrics_flush;
     let mut tc = ThreadCtx {
         shared,
         clock_tx,
@@ -259,6 +301,12 @@ fn actor_thread<M: KernelMsg + Send + 'static>(
         tracer: Tracer::new(obs),
         current_trace: TraceId::NONE,
     };
+    // Stagger each thread's flush phase across the interval: hundreds of
+    // actors started in the same instant would otherwise all hit the
+    // shared sink's mutex in the same tick, which on a small host can
+    // stall time-critical actors (e.g. the master's lease keepalive).
+    let phase = flush_every.mul_f64(f64::from(id.0 % 64) / 64.0);
+    let mut last_flush = Instant::now().checked_sub(phase).unwrap_or_else(Instant::now);
     while let Ok(env) = rx.recv() {
         gauges.on_pop();
         match env {
@@ -277,6 +325,16 @@ fn actor_thread<M: KernelMsg + Send + 'static>(
                 actor.on_timer(&mut Ctx::for_live(&mut tc, id), tag);
             }
             Envelope::Kill => break,
+        }
+        // Periodic flush: fold this thread's private metrics into the
+        // runtime-global sink so live scrapes see near-current data
+        // instead of waiting for the shutdown merge. Safe because actor
+        // code only uses additive instruments (counters, gauge deltas,
+        // histograms, windows) whose merge is take-and-sum.
+        if flush_every > Duration::ZERO && last_flush.elapsed() >= flush_every {
+            let m = std::mem::take(&mut tc.metrics);
+            tc.shared.metrics.lock().unwrap().merge(&m);
+            last_flush = Instant::now();
         }
     }
     (tc.metrics, tc.tracer)
@@ -447,6 +505,8 @@ fn clock_thread<M: KernelMsg + Send + 'static>(
     let net_bw: Vec<f64> = shared.cfg.machines.iter().map(|m| m.net_bw_mbps).collect();
     let mut flows = FlowNet::new(disk_bw, net_bw);
     let mut backlog: Vec<(ActorId, Envelope<M>)> = Vec::new();
+    let sample_every = shared.cfg.metrics_flush;
+    let mut last_sample = Instant::now();
 
     let deliver = |shared: &Arc<Shared<M>>,
                        backlog: &mut Vec<(ActorId, Envelope<M>)>,
@@ -568,6 +628,13 @@ fn clock_thread<M: KernelMsg + Send + 'static>(
             };
             deliver(&shared, &mut backlog, done.owner, env);
         }
+        // Queue pressure is a time series, not a shutdown summary: sample
+        // depths on the flush cadence so a mid-run spike is visible in the
+        // windowed series and the cluster view.
+        if sample_every > Duration::ZERO && last_sample.elapsed() >= sample_every {
+            shared.sample_mailboxes();
+            last_sample = Instant::now();
+        }
     }
 }
 
@@ -601,6 +668,7 @@ impl<M: KernelMsg + Send + 'static> LiveRuntime<M> {
             clock_tx,
             metrics: Mutex::new(Metrics::new()),
             tracer: Mutex::new(Tracer::default()),
+            hub: Mutex::new(None),
         });
         let clock = {
             let shared = Arc::clone(&shared);
@@ -706,21 +774,25 @@ impl<M: KernelMsg + Send + 'static> LiveRuntime<M> {
         let _ = self.shared.clock_tx.send(ClockCmd::SetIoSpeed { m, factor });
     }
 
-    /// Records mailbox pressure into the runtime metrics: the global
-    /// high-water mark, plus a depth gauge per actor with a non-empty
-    /// queue right now (bounded cardinality under load, nothing at rest).
+    /// Records mailbox pressure into the runtime metrics: current depths
+    /// as gauges *and* a windowed time series (the clock thread does this
+    /// periodically on `metrics_flush` cadence; this forces one sample
+    /// now), plus the global high-water mark.
     pub fn record_mailbox_gauges(&self) {
-        let slots = self.shared.slots.read().unwrap();
-        let mut metrics = self.shared.metrics.lock().unwrap();
-        let mut hwm = 0usize;
-        for (i, s) in slots.iter().enumerate() {
-            hwm = hwm.max(s.gauges.hwm());
-            let depth = s.gauges.depth();
-            if s.alive && depth > 0 {
-                metrics.gauge_set(&format!("rt.mailbox_depth.a{i}"), depth as f64);
-            }
-        }
-        metrics.gauge_max("rt.mailbox_hwm", hwm as f64);
+        self.shared.sample_mailboxes();
+    }
+
+    /// Attaches a cluster metrics hub: the clock thread's mailbox sampler
+    /// starts feeding the view's `mailbox_depth`/`mailbox_hwm` fields.
+    pub fn attach_hub(&self, hub: fuxi_obs::MetricsHub) {
+        *self.shared.hub.lock().unwrap() = Some(hub);
+    }
+
+    /// A clone of the runtime-global metrics as of now. With periodic
+    /// per-thread flushes (`metrics_flush`) this is a near-live picture;
+    /// only the last sub-interval of each actor thread is missing.
+    pub fn metrics_snapshot(&self) -> Metrics {
+        self.shared.metrics.lock().unwrap().clone()
     }
 
     /// Stops everything: kills the actors, joins every thread, and merges

@@ -38,7 +38,7 @@ pub use fuxi_obs as obs;
 pub use fuxi_obs::{SpanKind, TraceEvent, TraceId, Tracer, TracerConfig};
 pub use failure::{Fault, FaultPlan};
 pub use flow::{FlowDone, FlowKind, FlowNet, FlowSpec};
-pub use metrics::{Histogram, Metrics};
+pub use metrics::{Histogram, Metrics, WindowedHistogram};
 pub use net::NetConfig;
 pub use time::{SimDuration, SimTime};
 pub use world::{MachineConfig, World, WorldConfig};

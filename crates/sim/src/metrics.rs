@@ -1,9 +1,15 @@
-//! Metrics recording: counters, time series and log-bucketed histograms.
+//! Metrics recording: counters, time series, log-bucketed histograms, and
+//! fixed-width windowed series (the live metrics plane's storage format).
 //!
 //! Every experiment binary reads its table/figure data out of the world's
-//! [`Metrics`] sink after the run.
+//! [`Metrics`] sink after the run; the live runtime additionally merges
+//! per-thread sinks into a shared one every flush interval so the same
+//! data is readable *during* the run.
 
 use std::collections::HashMap;
+
+use fuxi_obs::export::json_string;
+use fuxi_obs::window::{WindowRing, DEFAULT_RETAIN, DEFAULT_WINDOW_S};
 
 /// A log-bucketed latency/size histogram with exact count/sum/min/max.
 /// Buckets are powers of `2^(1/4)` (≈19% wide), giving percentile estimates
@@ -136,13 +142,122 @@ impl Histogram {
     }
 }
 
+/// A ring of per-window [`Histogram`]s keyed by absolute window index,
+/// mirroring [`WindowRing`]'s retention and merge semantics — the live
+/// plane's source for *recent* latency quantiles (e.g. the sched-p99
+/// watchdog rule), as opposed to the run-lifetime histogram.
+#[derive(Debug, Clone)]
+pub struct WindowedHistogram {
+    width_s: f64,
+    retain: usize,
+    head: Option<i64>,
+    /// `slots[idx.rem_euclid(retain)]` is valid iff its stored index
+    /// matches; stale entries are lazily reset.
+    slots: Vec<(i64, Histogram)>,
+}
+
+impl Default for WindowedHistogram {
+    fn default() -> Self {
+        WindowedHistogram::new(DEFAULT_WINDOW_S, DEFAULT_RETAIN)
+    }
+}
+
+impl WindowedHistogram {
+    /// Ring with the given window width (seconds) and retention count.
+    pub fn new(width_s: f64, retain: usize) -> WindowedHistogram {
+        let retain = retain.max(1);
+        WindowedHistogram {
+            width_s: if width_s > 0.0 { width_s } else { DEFAULT_WINDOW_S },
+            retain,
+            head: None,
+            slots: vec![(i64::MIN, Histogram::new()); retain],
+        }
+    }
+
+    fn slot_mut(&mut self, idx: i64) -> &mut Histogram {
+        let pos = idx.rem_euclid(self.retain as i64) as usize;
+        let slot = &mut self.slots[pos];
+        if slot.0 != idx {
+            *slot = (idx, Histogram::new());
+        }
+        &mut slot.1
+    }
+
+    /// Records `v` into the window containing `t_s`. Values older than
+    /// the retention horizon are dropped.
+    pub fn record(&mut self, t_s: f64, v: f64) {
+        let idx = (t_s / self.width_s).floor() as i64;
+        let head = self.head.map_or(idx, |h| h.max(idx));
+        self.head = Some(head);
+        if idx > head - self.retain as i64 {
+            self.slot_mut(idx).record(v);
+        }
+    }
+
+    /// Merges another ring with the same width/retention. Associative and
+    /// commutative, like [`WindowRing::merge`].
+    pub fn merge(&mut self, other: &WindowedHistogram) {
+        debug_assert_eq!(self.width_s, other.width_s, "window width mismatch");
+        let head = match (self.head, other.head) {
+            (Some(a), Some(b)) => a.max(b),
+            (a, b) => match a.or(b) {
+                Some(h) => h,
+                None => return,
+            },
+        };
+        self.head = Some(head);
+        let horizon = head - self.retain as i64;
+        for (idx, h) in &other.slots {
+            if *idx != i64::MIN && *idx > horizon && h.count() > 0 {
+                self.slot_mut(*idx).merge(h);
+            }
+        }
+        for slot in &mut self.slots {
+            if slot.0 != i64::MIN && slot.0 <= horizon {
+                *slot = (i64::MIN, Histogram::new());
+            }
+        }
+    }
+
+    /// Populated windows within retention, ascending by absolute index.
+    pub fn windows(&self) -> Vec<(i64, &Histogram)> {
+        let Some(head) = self.head else { return Vec::new() };
+        let horizon = head - self.retain as i64;
+        let mut out: Vec<(i64, &Histogram)> = self
+            .slots
+            .iter()
+            .filter(|(idx, h)| *idx != i64::MIN && *idx > horizon && h.count() > 0)
+            .map(|(idx, h)| (*idx, h))
+            .collect();
+        out.sort_by_key(|(idx, _)| *idx);
+        out
+    }
+
+    /// One histogram merging every retained window — quantiles over the
+    /// last ~minute rather than the whole run.
+    pub fn merged(&self) -> Histogram {
+        let mut out = Histogram::new();
+        for (_, h) in self.windows() {
+            out.merge(h);
+        }
+        out
+    }
+
+    /// Samples inside the retained windows.
+    pub fn count(&self) -> u64 {
+        self.windows().iter().map(|(_, h)| h.count()).sum()
+    }
+}
+
 /// The per-world metrics sink.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Metrics {
     counters: HashMap<String, u64>,
     gauges: HashMap<String, f64>,
     series: HashMap<String, Vec<(f64, f64)>>,
     histograms: HashMap<String, Histogram>,
+    windows: HashMap<String, WindowRing>,
+    whistograms: HashMap<String, WindowedHistogram>,
 }
 
 impl Metrics {
@@ -197,6 +312,35 @@ impl Metrics {
     /// Histogram.
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
+    }
+
+    /// Adds `delta` to the windowed counter `name` at time `t_s` (read
+    /// back as a rate via [`WindowRing::rate_per_sec`]).
+    pub fn window_count(&mut self, name: &str, t_s: f64, delta: f64) {
+        self.windows.entry(name.to_owned()).or_default().observe(t_s, delta);
+    }
+
+    /// Samples the instantaneous value `v` into the windowed gauge `name`
+    /// at time `t_s` (read back via `last`/`min`/`max` per window — this
+    /// is what makes live mailbox backlog visible, not just its high-water
+    /// mark).
+    pub fn window_sample(&mut self, name: &str, t_s: f64, v: f64) {
+        self.windows.entry(name.to_owned()).or_default().observe(t_s, v);
+    }
+
+    /// Records `v` into the windowed histogram `name` at time `t_s`.
+    pub fn window_record(&mut self, name: &str, t_s: f64, v: f64) {
+        self.whistograms.entry(name.to_owned()).or_default().record(t_s, v);
+    }
+
+    /// Windowed series (counter or gauge semantics are the caller's).
+    pub fn window(&self, name: &str) -> Option<&WindowRing> {
+        self.windows.get(name)
+    }
+
+    /// Windowed histogram.
+    pub fn window_histogram(&self, name: &str) -> Option<&WindowedHistogram> {
+        self.whistograms.get(name)
     }
 
     /// Time-weighted mean of a series: the trapezoid integral of `v` over
@@ -272,11 +416,30 @@ impl Metrics {
         for (k, h) in &other.histograms {
             self.histograms.entry(k.clone()).or_default().merge(h);
         }
+        // Clone-on-first-sight keeps the source ring's width/retention.
+        for (k, w) in &other.windows {
+            match self.windows.entry(k.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(w),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(w.clone());
+                }
+            }
+        }
+        for (k, w) in &other.whistograms {
+            match self.whistograms.entry(k.clone()) {
+                std::collections::hash_map::Entry::Occupied(mut e) => e.get_mut().merge(w),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(w.clone());
+                }
+            }
+        }
     }
 
-    /// A deterministic JSON snapshot of every counter, gauge, and histogram
-    /// (count/mean/min/max/p50/p95/p99), keys sorted. Series are summarised
-    /// by length and time-weighted mean rather than dumped point-by-point.
+    /// A deterministic JSON snapshot of every counter, gauge, histogram
+    /// (count/mean/min/max/p50/p95/p99), windowed series, and windowed
+    /// histogram, keys sorted and escaped. Series are summarised by length
+    /// and time-weighted mean rather than dumped point-by-point; windowed
+    /// series report their retained windows in full.
     pub fn snapshot_json(&self) -> String {
         use std::fmt::Write;
         let mut out = String::from("{\"counters\":{");
@@ -286,7 +449,7 @@ impl Metrics {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "\"{}\":{}", k, self.counters[*k]);
+            let _ = write!(out, "{}:{}", json_string(k), self.counters[*k]);
         }
         out.push_str("},\"gauges\":{");
         let mut keys: Vec<&String> = self.gauges.keys().collect();
@@ -295,7 +458,7 @@ impl Metrics {
             if i > 0 {
                 out.push(',');
             }
-            let _ = write!(out, "\"{}\":{}", k, self.gauges[*k]);
+            let _ = write!(out, "{}:{}", json_string(k), self.gauges[*k]);
         }
         out.push_str("},\"histograms\":{");
         let mut keys: Vec<&String> = self.histograms.keys().collect();
@@ -307,8 +470,8 @@ impl Metrics {
             let h = &self.histograms[*k];
             let _ = write!(
                 out,
-                "\"{}\":{{\"count\":{},\"mean\":{:.9},\"min\":{:.9},\"max\":{:.9},\"p50\":{:.9},\"p95\":{:.9},\"p99\":{:.9}}}",
-                k,
+                "{}:{{\"count\":{},\"mean\":{:.9},\"min\":{:.9},\"max\":{:.9},\"p50\":{:.9},\"p95\":{:.9},\"p99\":{:.9}}}",
+                json_string(k),
                 h.count(),
                 h.mean(),
                 h.min(),
@@ -327,10 +490,56 @@ impl Metrics {
             }
             let _ = write!(
                 out,
-                "\"{}\":{{\"points\":{},\"mean\":{:.9}}}",
-                k,
+                "{}:{{\"points\":{},\"mean\":{:.9}}}",
+                json_string(k),
                 self.series[*k].len(),
                 self.series_mean(k)
+            );
+        }
+        out.push_str("},\"windows\":{");
+        let mut keys: Vec<&String> = self.windows.keys().collect();
+        keys.sort();
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let w = &self.windows[*k];
+            let _ = write!(
+                out,
+                "{}:{{\"width_s\":{},\"total_count\":{},\"total_sum\":{:.9},\"windows\":[",
+                json_string(k),
+                w.width_s(),
+                w.total_count,
+                w.total_sum
+            );
+            for (j, (idx, agg)) in w.windows().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "[{},{},{:.9},{:.9},{:.9},{:.9}]",
+                    idx, agg.count, agg.sum, agg.min, agg.max, agg.last
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push_str("},\"windowed_histograms\":{");
+        let mut keys: Vec<&String> = self.whistograms.keys().collect();
+        keys.sort();
+        for (i, k) in keys.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let merged = self.whistograms[*k].merged();
+            let _ = write!(
+                out,
+                "{}:{{\"count\":{},\"p50\":{:.9},\"p95\":{:.9},\"p99\":{:.9}}}",
+                json_string(k),
+                merged.count(),
+                merged.quantile(0.5),
+                merged.quantile(0.95),
+                merged.quantile(0.99)
             );
         }
         out.push_str("}}");
@@ -527,6 +736,144 @@ mod tests {
                 est / exact > 1.0 / 1.20 && est / exact < 1.20,
                 "q={} exact={} est={}", q, exact, est
             );
+        }
+    }
+
+    #[test]
+    fn snapshot_json_escapes_keys() {
+        // A key with quotes, backslashes, and control characters must not
+        // break the document (the pre-fix snapshot emitted them raw).
+        let mut m = Metrics::new();
+        m.count("evil\"key\\with\nspecials", 7);
+        m.gauge_add("also\"evil", 1.0);
+        m.record("hist\"key", 0.5);
+        m.window_count("win\"key", 0.1, 1.0);
+        let j = m.snapshot_json();
+        assert!(j.contains("\"evil\\\"key\\\\with\\nspecials\":7"), "{j}");
+        assert!(j.contains("\"also\\\"evil\":1"), "{j}");
+        assert!(j.contains("\"hist\\\"key\":{"), "{j}");
+        assert!(j.contains("\"win\\\"key\":{"), "{j}");
+        assert!(!j.contains("evil\"key"), "raw quote leaked into the JSON");
+    }
+
+    #[test]
+    fn windowed_recording_round_trips() {
+        let mut m = Metrics::new();
+        for i in 0..5 {
+            m.window_count("rate", i as f64 + 0.5, 2.0);
+            m.window_sample("depth", i as f64 + 0.5, i as f64);
+            m.window_record("lat", i as f64 + 0.5, 0.001 * (i + 1) as f64);
+        }
+        let w = m.window("rate").unwrap();
+        assert_eq!(w.total_count, 5);
+        assert!((w.rate_per_sec(4.5) - 2.0).abs() < 1e-9);
+        assert_eq!(m.window("depth").unwrap().latest(), Some(4.0));
+        let wh = m.window_histogram("lat").unwrap();
+        assert_eq!(wh.count(), 5);
+        assert_eq!(wh.merged().count(), 5);
+        assert!(m.window("absent").is_none());
+        let j = m.snapshot_json();
+        assert!(j.contains("\"rate\":{\"width_s\":1,\"total_count\":5"), "{j}");
+        assert!(j.contains("\"windowed_histograms\":{\"lat\":{\"count\":5"), "{j}");
+    }
+
+    #[test]
+    fn merge_combines_windows() {
+        let mut a = Metrics::new();
+        a.window_count("r", 0.5, 1.0);
+        a.window_record("h", 0.5, 0.001);
+        let mut b = Metrics::new();
+        b.window_count("r", 0.6, 2.0);
+        b.window_count("r", 1.6, 4.0);
+        b.window_record("h", 1.5, 0.002);
+        a.merge(&b);
+        let w = a.window("r").unwrap();
+        assert_eq!(w.total_count, 3);
+        let ws = w.windows();
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].1.sum, 3.0);
+        assert_eq!(ws[1].1.sum, 4.0);
+        assert_eq!(a.window_histogram("h").unwrap().count(), 2);
+    }
+
+    // Property: splitting one observation stream across any number of
+    // per-thread sinks and merging them back — in any order — yields the
+    // same windows, histograms, and totals as recording the stream into a
+    // single sink. This is the invariant that lets fuxi-rt flush
+    // per-thread metrics periodically instead of only at shutdown.
+    proptest! {
+        #[test]
+        fn window_merge_any_order_equals_single_stream(
+            obs in prop::collection::vec((0.0f64..30.0f64, -5.0f64..5.0f64, 0u8..3u8), 1..120),
+            order_seed in 0usize..4usize,
+        ) {
+            let order = [[0usize, 1, 2], [2, 0, 1], [1, 2, 0], [2, 1, 0]][order_seed];
+            let mut single = Metrics::new();
+            let mut parts = [Metrics::new(), Metrics::new(), Metrics::new()];
+            for (i, &(t, v, _)) in obs.iter().enumerate() {
+                single.window_count("w", t, v);
+                single.window_record("h", t, v.abs().max(1e-6));
+                parts[i % 3].window_count("w", t, v);
+                parts[i % 3].window_record("h", t, v.abs().max(1e-6));
+            }
+            let mut merged = Metrics::new();
+            for &p in &order {
+                merged.merge(&parts[p]);
+            }
+            let (sw, mw) = (single.window("w").unwrap(), merged.window("w").unwrap());
+            // Window sets and order-insensitive aggregates must be exactly
+            // equal; sums only up to FP addition-order noise.
+            let (svw, mvw) = (sw.windows(), mw.windows());
+            prop_assert_eq!(svw.len(), mvw.len());
+            for ((si, sa), (mi, ma)) in svw.iter().zip(&mvw) {
+                prop_assert_eq!(si, mi);
+                prop_assert_eq!(sa.count, ma.count);
+                prop_assert!((sa.sum - ma.sum).abs() < 1e-9);
+                prop_assert_eq!(sa.min, ma.min);
+                prop_assert_eq!(sa.max, ma.max);
+                prop_assert_eq!(sa.last, ma.last);
+                prop_assert_eq!(sa.last_t, ma.last_t);
+            }
+            prop_assert_eq!(sw.total_count, mw.total_count);
+            prop_assert!((sw.total_sum - mw.total_sum).abs() < 1e-6);
+            let (sh, mh) = (
+                single.window_histogram("h").unwrap(),
+                merged.window_histogram("h").unwrap(),
+            );
+            prop_assert_eq!(sh.count(), mh.count());
+            prop_assert_eq!(sh.merged().quantile(0.99), mh.merged().quantile(0.99));
+        }
+
+        #[test]
+        fn histogram_merge_is_order_independent(
+            vals in prop::collection::vec(1e-6f64..100.0f64, 1..100),
+            split in 1usize..4usize,
+        ) {
+            let mut single = Histogram::new();
+            let mut parts = vec![Histogram::new(); split + 1];
+            for (i, &v) in vals.iter().enumerate() {
+                single.record(v);
+                parts[i % (split + 1)].record(v);
+            }
+            // Forward and reverse merge orders must agree with each other
+            // and with the single stream.
+            let mut fwd = Histogram::new();
+            for p in &parts {
+                fwd.merge(p);
+            }
+            let mut rev = Histogram::new();
+            for p in parts.iter().rev() {
+                rev.merge(p);
+            }
+            for h in [&fwd, &rev] {
+                prop_assert_eq!(h.count(), single.count());
+                prop_assert!((h.sum() - single.sum()).abs() < 1e-9);
+                prop_assert_eq!(h.min(), single.min());
+                prop_assert_eq!(h.max(), single.max());
+                for q in [0.5, 0.95, 0.99] {
+                    prop_assert_eq!(h.quantile(q), single.quantile(q));
+                }
+            }
         }
     }
 

@@ -45,6 +45,7 @@ pub use fuxi_baseline as baseline;
 pub use fuxi_cluster as cluster;
 pub use fuxi_core as core;
 pub use fuxi_job as job;
+pub use fuxi_obs as obs;
 pub use fuxi_proto as proto;
 pub use fuxi_rt as rt;
 pub use fuxi_sim as sim;
