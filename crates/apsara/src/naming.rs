@@ -13,12 +13,29 @@ use std::sync::{Arc, Mutex};
 /// Well-known name of the FuxiMaster service.
 pub const FUXI_MASTER: &str = "fuxi-master";
 
+/// Observer invoked on every *local* mutation of the name table:
+/// `(name, Some(id))` for a registration, `(name, None)` for a removal.
+/// The node supervisor installs one to replicate updates to peers.
+pub type NameWatcher = Box<dyn Fn(&str, Option<ActorId>) + Send>;
+
 /// A cloneable handle to the shared name table. `Arc<Mutex>`-backed so the
 /// same handle serves both the single-threaded kernel and the live
-/// multi-threaded runtime.
-#[derive(Debug, Clone, Default)]
+/// multi-threaded runtime. In a multi-process deployment each process has
+/// its own replica; a [`NameWatcher`] broadcasts local mutations and
+/// [`NameRegistry::apply_remote`] applies peer updates without re-firing
+/// the watcher (no echo loops).
+#[derive(Clone, Default)]
 pub struct NameRegistry {
     inner: Arc<Mutex<BTreeMap<String, ActorId>>>,
+    watcher: Arc<Mutex<Option<NameWatcher>>>,
+}
+
+impl std::fmt::Debug for NameRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NameRegistry")
+            .field("inner", &*self.inner.lock().unwrap())
+            .finish_non_exhaustive()
+    }
 }
 
 impl NameRegistry {
@@ -30,13 +47,59 @@ impl NameRegistry {
     /// Registers (or replaces) the address for `name`.
     pub fn register(&self, name: &str, id: ActorId) {
         self.inner.lock().unwrap().insert(name.to_owned(), id);
+        self.notify(name, Some(id));
     }
 
     /// Removes a registration if `id` still owns it.
     pub fn deregister(&self, name: &str, id: ActorId) {
+        let removed = {
+            let mut map = self.inner.lock().unwrap();
+            if map.get(name) == Some(&id) {
+                map.remove(name);
+                true
+            } else {
+                false
+            }
+        };
+        if removed {
+            self.notify(name, None);
+        }
+    }
+
+    /// Installs the replication watcher fired on local mutations.
+    pub fn set_watcher(&self, watcher: NameWatcher) {
+        *self.watcher.lock().unwrap() = Some(watcher);
+    }
+
+    /// Applies an update received from a peer process: same effect as
+    /// `register`/`deregister` but never fires the watcher, so replicated
+    /// updates don't echo back onto the wire.
+    pub fn apply_remote(&self, name: &str, id: Option<ActorId>) {
         let mut map = self.inner.lock().unwrap();
-        if map.get(name) == Some(&id) {
-            map.remove(name);
+        match id {
+            Some(id) => {
+                map.insert(name.to_owned(), id);
+            }
+            None => {
+                map.remove(name);
+            }
+        }
+    }
+
+    /// Full snapshot of the table (seeds a peer's replica at handshake).
+    pub fn dump(&self) -> Vec<(String, ActorId)> {
+        self.inner
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(k, v)| (k.clone(), *v))
+            .collect()
+    }
+
+    fn notify(&self, name: &str, id: Option<ActorId>) {
+        let watcher = self.watcher.lock().unwrap();
+        if let Some(w) = watcher.as_ref() {
+            w(name, id);
         }
     }
 

@@ -79,13 +79,36 @@ impl CheckpointStore {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// Full snapshot of all entries (seeds a peer's replica at handshake).
+    pub fn dump(&self) -> Vec<(String, Vec<u8>)> {
+        self.data
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
 }
+
+/// Observer invoked on every *local* mutation of the store:
+/// `(key, Some(bytes))` for a put, `(key, None)` for a delete. The node
+/// supervisor installs one to replicate checkpoints to peers, so a
+/// standby master in another process can rebuild from them on takeover.
+pub type StoreWatcher = Box<dyn Fn(&str, Option<&[u8]>) + Send>;
 
 /// Cloneable handle to a shared [`CheckpointStore`]. `Arc<Mutex>`-backed
 /// so one handle serves the kernel and the live runtime alike.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct StoreHandle {
     inner: Arc<Mutex<CheckpointStore>>,
+    watcher: Arc<Mutex<Option<StoreWatcher>>>,
+}
+
+impl std::fmt::Debug for StoreHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreHandle")
+            .field("inner", &*self.inner.lock().unwrap())
+            .finish_non_exhaustive()
+    }
 }
 
 impl StoreHandle {
@@ -96,7 +119,8 @@ impl StoreHandle {
 
     /// Put.
     pub fn put(&self, key: &str, value: Vec<u8>) {
-        self.inner.lock().unwrap().put(key, value);
+        self.inner.lock().unwrap().put(key, value.clone());
+        self.notify(key, Some(&value));
     }
 
     /// Put json.
@@ -119,6 +143,34 @@ impl StoreHandle {
     /// Delete.
     pub fn delete(&self, key: &str) {
         self.inner.lock().unwrap().delete(key);
+        self.notify(key, None);
+    }
+
+    /// Installs the replication watcher fired on local mutations.
+    pub fn set_watcher(&self, watcher: StoreWatcher) {
+        *self.watcher.lock().unwrap() = Some(watcher);
+    }
+
+    /// Applies an update received from a peer process without firing the
+    /// watcher (replicated writes must not echo back onto the wire).
+    pub fn apply_remote(&self, key: &str, value: Option<Vec<u8>>) {
+        let mut store = self.inner.lock().unwrap();
+        match value {
+            Some(v) => store.put(key, v),
+            None => store.delete(key),
+        }
+    }
+
+    /// Full snapshot of all entries (seeds a peer's replica at handshake).
+    pub fn dump(&self) -> Vec<(String, Vec<u8>)> {
+        self.inner.lock().unwrap().dump()
+    }
+
+    fn notify(&self, key: &str, value: Option<&[u8]>) {
+        let watcher = self.watcher.lock().unwrap();
+        if let Some(w) = watcher.as_ref() {
+            w(key, value);
+        }
     }
 
     /// Contains.

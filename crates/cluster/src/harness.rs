@@ -17,7 +17,7 @@ use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
 
 /// Cluster-wide configuration.
-#[derive(Clone)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of machines in the cluster.
     pub n_machines: usize,

@@ -11,9 +11,11 @@
 //! * [`scenario`] — the §5.2 synthetic-load driver and §5.4 fault plans;
 //! * [`report`] — table/series printers used by the experiment binaries.
 
+pub mod deploy;
 pub mod harness;
 pub mod report;
 pub mod scenario;
 
+pub use deploy::{ActorGroup, DeployTopology, NodeRole, NodeSpec, PlacedActor};
 pub use harness::{Cluster, ClusterConfig, JobState, SubmitOpts};
 pub use scenario::{fault_plan, FaultRatios, SyntheticRunStats};

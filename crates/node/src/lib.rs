@@ -1,0 +1,24 @@
+#![warn(missing_docs)]
+//! # fuxi-node
+//!
+//! Real multi-process Fuxi deployment. One `fuxi-node` process hosts one
+//! actor group of a [`fuxi_cluster::DeployTopology`] — master, hot
+//! standby, agent fleet, or the hub (lock service + client) — and the
+//! processes talk over the versioned wire protocol from
+//! `fuxi_proto::wire` via `fuxi_rt`'s [`fuxi_rt::Transport`].
+//!
+//! * [`supervisor`] — connection supervision: hub accept/relay loops,
+//!   leaf dial loop with jittered backoff and session epochs, and the
+//!   name/store replication plane;
+//! * [`node`] — [`node::LiveNode`]: boots one topology node inside this
+//!   process and wires its runtime to the supervisor.
+//!
+//! `bench_live --distributed` drives a 4-process cluster through SIGKILL
+//! failover with this crate; the `fuxi-node` binary runs the same nodes
+//! by hand (see the README quickstart).
+
+pub mod node;
+pub mod supervisor;
+
+pub use node::LiveNode;
+pub use supervisor::{backoff_delay, HubSupervisor, LeafConfig, LeafSupervisor};

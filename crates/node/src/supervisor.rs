@@ -1,0 +1,606 @@
+//! Connection supervision for the star overlay.
+//!
+//! One process is the **hub** (it hosts the lock service in the standard
+//! layout, so it is the natural rendezvous); every other node is a
+//! **leaf** that dials the hub. The supervisor owns all sockets and
+//! threads; actor code never sees a connection, only `ActorId`s.
+//!
+//! Responsibilities:
+//!
+//! * **Routing** — a leaf sends every non-local message to the hub; the
+//!   hub delivers window-0 destinations locally and relays the rest to
+//!   the owning peer. Messages for unreachable peers are dropped (actor
+//!   protocols already tolerate loss: heartbeats repeat, submissions
+//!   retry, the request/grant channels detect gaps and full-sync).
+//! * **Replication** — local name-service and checkpoint-store mutations
+//!   are broadcast (`NameUpdate`/`StorePut` frames); the hub applies and
+//!   rebroadcasts to every other peer, so each process converges on the
+//!   same replica. Replicated applies never re-fire the watcher, so
+//!   updates cannot echo.
+//! * **Supervision** — a leaf reconnects with jittered exponential
+//!   backoff and a bumped `session_epoch`; the HELLO-ACK carries full
+//!   name/store snapshots so a reconnecting node re-syncs state it
+//!   missed. Peer liveness (`connection up`) feeds `ctx.alive`, which is
+//!   what lets the lease lock expire a SIGKILLed master's lease and pass
+//!   the lock to the standby.
+
+use fuxi_apsara::{NameRegistry, StoreHandle};
+use fuxi_proto::wire::{self, Hello, HelloAck, NameUpdate, RoutedMsg, StoreUpdate};
+use fuxi_proto::{FrameType, Msg, PROTO_VERSION};
+use fuxi_rt::{Frame, TcpTransport, Transport, TransportListener};
+use fuxi_sim::ActorId;
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Inbound delivery into the local runtime (`LiveRuntime::remote_injector`).
+pub type Inject = Arc<dyn Fn(ActorId, ActorId, Msg) + Send + Sync>;
+
+type OutFrame = (FrameType, Vec<u8>);
+
+fn encode<T: serde::Serialize>(payload: &T) -> Vec<u8> {
+    wire::encode_payload(PROTO_VERSION, payload).expect("wire encode")
+}
+
+/// Jittered exponential backoff: `base * 2^attempt`, capped at `max`,
+/// then scaled by a pseudo-random factor in `[0.5, 1.5)`. The jitter
+/// source is a tiny splitmix over (seed, attempt) — deterministic enough
+/// to test, spread enough to avoid thundering-herd redials.
+pub fn backoff_delay(base: Duration, max: Duration, attempt: u32, seed: u64) -> Duration {
+    let exp = base.saturating_mul(1u32 << attempt.min(6));
+    let capped = exp.min(max);
+    let mut z = seed
+        .wrapping_add(u64::from(attempt))
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let frac = ((z >> 40) as f64) / ((1u64 << 24) as f64); // [0,1)
+    capped.mul_f64(0.5 + frac)
+}
+
+// ---------------------------------------------------------------------
+// Hub
+// ---------------------------------------------------------------------
+
+struct PeerLink {
+    epoch: u64,
+    up: Arc<AtomicBool>,
+    tx: mpsc::Sender<OutFrame>,
+}
+
+struct HubInner {
+    node: String,
+    naming: NameRegistry,
+    store: StoreHandle,
+    inject: Inject,
+    peers: Mutex<BTreeMap<u32, PeerLink>>,
+    relayed: AtomicU64,
+    dropped: AtomicU64,
+    accepted: AtomicU64,
+}
+
+impl HubInner {
+    fn send_to(&self, node_index: u32, ft: FrameType, payload: Vec<u8>) {
+        let peers = self.peers.lock().unwrap();
+        match peers.get(&node_index) {
+            Some(p) if p.up.load(Ordering::Acquire) => {
+                if p.tx.send((ft, payload)).is_err() {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            _ => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn broadcast_except(&self, skip: Option<u32>, ft: FrameType, payload: &[u8]) {
+        let peers = self.peers.lock().unwrap();
+        for (&idx, p) in peers.iter() {
+            if Some(idx) == skip || !p.up.load(Ordering::Acquire) {
+                continue;
+            }
+            let _ = p.tx.send((ft, payload.to_vec()));
+        }
+    }
+
+    fn dispatch(&self, src: u32, frame: Frame) {
+        match frame.frame_type {
+            FrameType::Msg => {
+                let Ok(routed) =
+                    wire::decode_payload::<RoutedMsg>(PROTO_VERSION, &frame.payload)
+                else {
+                    return;
+                };
+                if routed.to.node_index() == 0 {
+                    (self.inject)(routed.from, routed.to, routed.msg);
+                } else {
+                    // Relay the raw payload unchanged — no re-encode.
+                    self.relayed.fetch_add(1, Ordering::Relaxed);
+                    self.send_to(routed.to.node_index(), FrameType::Msg, frame.payload);
+                }
+            }
+            FrameType::NameUpdate => {
+                if let Ok(u) = wire::decode_payload::<NameUpdate>(PROTO_VERSION, &frame.payload)
+                {
+                    self.naming.apply_remote(&u.name, u.id);
+                    self.broadcast_except(Some(src), FrameType::NameUpdate, &frame.payload);
+                }
+            }
+            FrameType::StorePut => {
+                if let Ok(u) = wire::decode_payload::<StoreUpdate>(PROTO_VERSION, &frame.payload)
+                {
+                    self.store.apply_remote(&u.key, u.value);
+                    self.broadcast_except(Some(src), FrameType::StorePut, &frame.payload);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn register_peer(self: &Arc<Self>, hello: Hello, transport: TcpTransport) {
+        let up = Arc::new(AtomicBool::new(true));
+        let (tx, rx) = mpsc::channel::<OutFrame>();
+        {
+            let mut peers = self.peers.lock().unwrap();
+            if let Some(old) = peers.get(&hello.node_index) {
+                if old.epoch >= hello.session_epoch {
+                    // Stale duplicate dial; drop it (its threads never start).
+                    return;
+                }
+                old.up.store(false, Ordering::Release);
+            }
+            peers.insert(
+                hello.node_index,
+                PeerLink {
+                    epoch: hello.session_epoch,
+                    up: Arc::clone(&up),
+                    tx,
+                },
+            );
+        }
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+
+        // Writer: drains the peer's outbound queue onto the socket.
+        let mut writer = transport.try_clone_box().expect("clone transport");
+        let wup = Arc::clone(&up);
+        std::thread::Builder::new()
+            .name(format!("hub-tx-{}", hello.node))
+            .spawn(move || {
+                while let Ok((ft, payload)) = rx.recv() {
+                    if writer.send(ft, &payload).is_err() {
+                        wup.store(false, Ordering::Release);
+                        break;
+                    }
+                }
+            })
+            .expect("spawn hub writer");
+
+        // Reader: dispatches inbound frames until the connection dies.
+        let inner = Arc::clone(self);
+        let src = hello.node_index;
+        let mut reader = transport;
+        std::thread::Builder::new()
+            .name(format!("hub-rx-{}", hello.node))
+            .spawn(move || {
+                while let Ok(Some(frame)) = reader.recv() {
+                    inner.dispatch(src, frame);
+                }
+                up.store(false, Ordering::Release);
+            })
+            .expect("spawn hub reader");
+    }
+}
+
+/// The hub half of the overlay: accepts peers, relays, rebroadcasts.
+pub struct HubSupervisor {
+    inner: Arc<HubInner>,
+    addr: SocketAddr,
+}
+
+impl HubSupervisor {
+    /// Binds `addr` and starts the accept loop. `inject` delivers frames
+    /// addressed to this (window-0) process into its runtime.
+    pub fn start(
+        addr: &str,
+        node: &str,
+        naming: NameRegistry,
+        store: StoreHandle,
+        inject: Inject,
+    ) -> Result<HubSupervisor, fuxi_proto::WireError> {
+        let listener = TransportListener::bind(addr)?;
+        let bound = listener.local_addr();
+        let inner = Arc::new(HubInner {
+            node: node.to_owned(),
+            naming: naming.clone(),
+            store: store.clone(),
+            inject,
+            peers: Mutex::new(BTreeMap::new()),
+            relayed: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+        });
+
+        // Local mutations replicate to every peer.
+        {
+            let hub = Arc::clone(&inner);
+            naming.set_watcher(Box::new(move |name, id| {
+                let payload = encode(&NameUpdate {
+                    name: name.to_owned(),
+                    id,
+                });
+                hub.broadcast_except(None, FrameType::NameUpdate, &payload);
+            }));
+            let hub = Arc::clone(&inner);
+            store.set_watcher(Box::new(move |key, value| {
+                let payload = encode(&StoreUpdate {
+                    key: key.to_owned(),
+                    value: value.map(<[u8]>::to_vec),
+                });
+                hub.broadcast_except(None, FrameType::StorePut, &payload);
+            }));
+        }
+
+        let accept_inner = Arc::clone(&inner);
+        std::thread::Builder::new()
+            .name("hub-accept".to_owned())
+            .spawn(move || loop {
+                let naming = accept_inner.naming.clone();
+                let store = accept_inner.store.clone();
+                let node = accept_inner.node.clone();
+                match listener.accept_handshake(|_hello| {
+                    Ok(HelloAck {
+                        node,
+                        names: naming.dump(),
+                        store: store.dump(),
+                    })
+                }) {
+                    Ok((transport, hello)) => accept_inner.register_peer(hello, transport),
+                    // Version mismatches and handshake garbage are already
+                    // answered with HELLO-REJECT inside accept_handshake;
+                    // just keep accepting.
+                    Err(_) => continue,
+                }
+            })
+            .expect("spawn hub accept loop");
+
+        Ok(HubSupervisor { inner, addr: bound })
+    }
+
+    /// The bound listen address (resolves `:0` to the real port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Outbound router for the hub's runtime: window-`i` destinations go
+    /// to peer `i`'s queue.
+    pub fn router(&self) -> Box<dyn Fn(ActorId, ActorId, Msg) + Send + Sync> {
+        let inner = Arc::clone(&self.inner);
+        Box::new(move |from, to, msg| {
+            let payload = encode(&RoutedMsg { from, to, msg });
+            inner.send_to(to.node_index(), FrameType::Msg, payload);
+        })
+    }
+
+    /// Liveness oracle: a remote actor is alive while its node's
+    /// connection is up. This is the failure detector the lease lock
+    /// leans on after a SIGKILL.
+    pub fn remote_alive(&self) -> Box<dyn Fn(ActorId) -> bool + Send + Sync> {
+        let inner = Arc::clone(&self.inner);
+        Box::new(move |id| {
+            let peers = inner.peers.lock().unwrap();
+            peers
+                .get(&id.node_index())
+                .is_some_and(|p| p.up.load(Ordering::Acquire))
+        })
+    }
+
+    /// `true` while node `i`'s connection is up.
+    pub fn peer_up(&self, node_index: u32) -> bool {
+        let peers = self.inner.peers.lock().unwrap();
+        peers
+            .get(&node_index)
+            .is_some_and(|p| p.up.load(Ordering::Acquire))
+    }
+
+    /// Blocks until peers `1..=n` are all connected or `timeout` passes.
+    pub fn wait_peers(&self, n: u32, timeout: Duration) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < timeout {
+            if (1..=n).all(|i| self.peer_up(i)) {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        false
+    }
+
+    /// (relayed, dropped, accepted) frame counters.
+    pub fn stats(&self) -> (u64, u64, u64) {
+        (
+            self.inner.relayed.load(Ordering::Relaxed),
+            self.inner.dropped.load(Ordering::Relaxed),
+            self.inner.accepted.load(Ordering::Relaxed),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// Leaf
+// ---------------------------------------------------------------------
+
+struct LeafInner {
+    naming: NameRegistry,
+    store: StoreHandle,
+    inject: Inject,
+    up: AtomicBool,
+    epoch: AtomicU64,
+    reconnects: AtomicU64,
+    /// The live socket, for fault injection (`sever`).
+    current: Mutex<Option<std::net::TcpStream>>,
+}
+
+impl LeafInner {
+    fn dispatch(&self, frame: Frame) {
+        match frame.frame_type {
+            FrameType::Msg => {
+                if let Ok(r) = wire::decode_payload::<RoutedMsg>(PROTO_VERSION, &frame.payload) {
+                    (self.inject)(r.from, r.to, r.msg);
+                }
+            }
+            FrameType::NameUpdate => {
+                if let Ok(u) = wire::decode_payload::<NameUpdate>(PROTO_VERSION, &frame.payload) {
+                    self.naming.apply_remote(&u.name, u.id);
+                }
+            }
+            FrameType::StorePut => {
+                if let Ok(u) = wire::decode_payload::<StoreUpdate>(PROTO_VERSION, &frame.payload) {
+                    self.store.apply_remote(&u.key, u.value);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Configuration for a leaf's dial/redial loop.
+#[derive(Debug, Clone)]
+pub struct LeafConfig {
+    /// Node name for HELLO (diagnostics).
+    pub node: String,
+    /// This node's topology index (owns id window `index << 24`).
+    pub node_index: u32,
+    /// Initial redial delay.
+    pub backoff_base: Duration,
+    /// Redial delay cap.
+    pub backoff_max: Duration,
+    /// Exit the process when the hub stays unreachable this long
+    /// (orphaned-child protection for the test driver); `None` retries
+    /// forever.
+    pub give_up_after: Option<Duration>,
+}
+
+impl LeafConfig {
+    /// Defaults: 50 ms base, 2 s cap, never give up.
+    pub fn new(node: &str, node_index: u32) -> Self {
+        Self {
+            node: node.to_owned(),
+            node_index,
+            backoff_base: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+            give_up_after: None,
+        }
+    }
+}
+
+/// The leaf half: one supervised connection to the hub.
+pub struct LeafSupervisor {
+    inner: Arc<LeafInner>,
+    out_tx: mpsc::Sender<OutFrame>,
+}
+
+impl LeafSupervisor {
+    /// Starts the dial loop against `hub_addr`. Outbound frames queue
+    /// while disconnected and drain after the next successful handshake,
+    /// so brief hub outages lose nothing that was already queued.
+    pub fn start(
+        hub_addr: &str,
+        cfg: LeafConfig,
+        naming: NameRegistry,
+        store: StoreHandle,
+        inject: Inject,
+    ) -> LeafSupervisor {
+        let (out_tx, out_rx) = mpsc::channel::<OutFrame>();
+        let inner = Arc::new(LeafInner {
+            naming: naming.clone(),
+            store: store.clone(),
+            inject,
+            up: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            reconnects: AtomicU64::new(0),
+            current: Mutex::new(None),
+        });
+
+        // Local mutations replicate up to the hub (which rebroadcasts).
+        {
+            let tx = out_tx.clone();
+            naming.set_watcher(Box::new(move |name, id| {
+                let payload = encode(&NameUpdate {
+                    name: name.to_owned(),
+                    id,
+                });
+                let _ = tx.send((FrameType::NameUpdate, payload));
+            }));
+            let tx = out_tx.clone();
+            store.set_watcher(Box::new(move |key, value| {
+                let payload = encode(&StoreUpdate {
+                    key: key.to_owned(),
+                    value: value.map(<[u8]>::to_vec),
+                });
+                let _ = tx.send((FrameType::StorePut, payload));
+            }));
+        }
+
+        let loop_inner = Arc::clone(&inner);
+        let hub_addr = hub_addr.to_owned();
+        let actor_base = ActorId::node_base(cfg.node_index);
+        std::thread::Builder::new()
+            .name(format!("leaf-{}", cfg.node))
+            .spawn(move || {
+                let mut attempt = 0u32;
+                let mut down_since = Instant::now();
+                loop {
+                    let epoch = loop_inner.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+                    let hello = Hello {
+                        node: cfg.node.clone(),
+                        node_index: cfg.node_index,
+                        actor_base,
+                        session_epoch: epoch,
+                    };
+                    let (mut transport, ack) = match TcpTransport::connect(&hub_addr, &hello) {
+                        Ok(ok) => ok,
+                        Err(_) => {
+                            attempt += 1;
+                            if let Some(limit) = cfg.give_up_after {
+                                if down_since.elapsed() > limit {
+                                    std::process::exit(3);
+                                }
+                            }
+                            std::thread::sleep(backoff_delay(
+                                cfg.backoff_base,
+                                cfg.backoff_max,
+                                attempt,
+                                u64::from(cfg.node_index) << 32 | u64::from(attempt),
+                            ));
+                            continue;
+                        }
+                    };
+                    attempt = 0;
+                    if epoch > 1 {
+                        loop_inner.reconnects.fetch_add(1, Ordering::Relaxed);
+                    }
+                    *loop_inner.current.lock().unwrap() = transport.stream().try_clone().ok();
+
+                    // Re-sync: adopt the hub's snapshot, then re-announce
+                    // our replica (idempotent; covers anything we wrote
+                    // while the link was down and the queue had not yet
+                    // captured, e.g. state from before the first connect).
+                    for (name, id) in ack.names {
+                        loop_inner.naming.apply_remote(&name, Some(id));
+                    }
+                    for (key, value) in ack.store {
+                        loop_inner.store.apply_remote(&key, Some(value));
+                    }
+                    for (name, id) in loop_inner.naming.dump() {
+                        let payload = encode(&NameUpdate {
+                            name,
+                            id: Some(id),
+                        });
+                        if transport.send(FrameType::NameUpdate, &payload).is_err() {
+                            continue;
+                        }
+                    }
+                    for (key, value) in loop_inner.store.dump() {
+                        let payload = encode(&StoreUpdate {
+                            key,
+                            value: Some(value),
+                        });
+                        let _ = transport.send(FrameType::StorePut, &payload);
+                    }
+                    loop_inner.up.store(true, Ordering::Release);
+
+                    // Reader on a clone; writer (this thread) drains the
+                    // outbound queue until either side loses the socket.
+                    let mut reader = match transport.try_clone_box() {
+                        Ok(r) => r,
+                        Err(_) => {
+                            loop_inner.up.store(false, Ordering::Release);
+                            continue;
+                        }
+                    };
+                    let rd_inner = Arc::clone(&loop_inner);
+                    let reader_thread = std::thread::Builder::new()
+                        .name(format!("leaf-rx-{}", cfg.node))
+                        .spawn(move || {
+                            while let Ok(Some(frame)) = reader.recv() {
+                                rd_inner.dispatch(frame);
+                            }
+                            rd_inner.up.store(false, Ordering::Release);
+                        })
+                        .expect("spawn leaf reader");
+
+                    loop {
+                        if !loop_inner.up.load(Ordering::Acquire) {
+                            break;
+                        }
+                        match out_rx.recv_timeout(Duration::from_millis(50)) {
+                            Ok((ft, payload)) => {
+                                if transport.send(ft, &payload).is_err() {
+                                    loop_inner.up.store(false, Ordering::Release);
+                                    break;
+                                }
+                            }
+                            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                            Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                        }
+                    }
+                    drop(transport); // closes our half; unblocks the reader
+                    let _ = reader_thread.join();
+                    down_since = Instant::now();
+                }
+            })
+            .expect("spawn leaf dial loop");
+
+        LeafSupervisor { inner, out_tx }
+    }
+
+    /// Outbound router for this leaf's runtime: everything non-local goes
+    /// through the hub.
+    pub fn router(&self) -> Box<dyn Fn(ActorId, ActorId, Msg) + Send + Sync> {
+        let tx = self.out_tx.clone();
+        Box::new(move |from, to, msg| {
+            let payload = encode(&RoutedMsg { from, to, msg });
+            let _ = tx.send((FrameType::Msg, payload));
+        })
+    }
+
+    /// Liveness oracle: any remote id is presumed alive while the hub
+    /// link is up (the hub answers for its peers).
+    pub fn remote_alive(&self) -> Box<dyn Fn(ActorId) -> bool + Send + Sync> {
+        let inner = Arc::clone(&self.inner);
+        Box::new(move |_id| inner.up.load(Ordering::Acquire))
+    }
+
+    /// `true` while the hub link is up.
+    pub fn connected(&self) -> bool {
+        self.inner.up.load(Ordering::Acquire)
+    }
+
+    /// Successful re-handshakes after the first (supervision metric).
+    pub fn reconnects(&self) -> u64 {
+        self.inner.reconnects.load(Ordering::Relaxed)
+    }
+
+    /// Fault injection: hard-closes the current socket (both directions),
+    /// as if the peer was killed mid-heartbeat. The dial loop notices and
+    /// reconnects with a bumped session epoch.
+    pub fn sever(&self) {
+        if let Some(s) = self.inner.current.lock().unwrap().take() {
+            let _ = s.shutdown(std::net::Shutdown::Both);
+        }
+    }
+
+    /// Blocks until the hub link is up or `timeout` passes.
+    pub fn wait_connected(&self, timeout: Duration) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < timeout {
+            if self.connected() {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        false
+    }
+}

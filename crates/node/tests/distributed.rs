@@ -1,0 +1,159 @@
+//! Multi-node cluster tests over real TCP (all nodes in one test process,
+//! each with its own runtime, connected through the hub's listener — the
+//! same code paths `bench_live --distributed` runs across OS processes).
+
+use fuxi_cluster::{ClusterConfig, DeployTopology, SubmitOpts};
+use fuxi_node::LiveNode;
+use fuxi_sim::SimDuration;
+use fuxi_workloads::mapreduce::{wordcount_job, MapReduceParams};
+use std::time::{Duration, Instant};
+
+fn test_config(seed: u64) -> ClusterConfig {
+    let mut cfg = ClusterConfig {
+        n_machines: 6,
+        rack_size: 3,
+        seed,
+        ..ClusterConfig::default()
+    };
+    // Tight failover clocks so the test stays fast: 1.5 s lease, 0.5 s
+    // keepalive (well under the lease as the master config requires).
+    cfg.master.lease_ttl = SimDuration::from_secs_f64(1.5);
+    cfg.master.keepalive_interval = SimDuration::from_secs_f64(0.5);
+    cfg
+}
+
+fn small_job(i: usize) -> fuxi_job::JobDesc {
+    wordcount_job(&MapReduceParams {
+        maps: 2,
+        reduces: 1,
+        map_duration_s: 0.05,
+        reduce_duration_s: 0.05,
+        jitter: 0.1,
+        max_workers: 2,
+        binary_mb: 1.0,
+        map_output_mb: 0.2,
+        output_file: Some(format!("pangu://dist/out-{i}")),
+        ..Default::default()
+    })
+}
+
+/// Boots the standard 4-node topology in-process: hub (lock + client),
+/// master A, master B, agent fleet. Returns (hub, leaves).
+fn boot_cluster(seed: u64) -> (LiveNode, Vec<LiveNode>) {
+    let deploy = DeployTopology::distributed(test_config(seed), "127.0.0.1:0");
+    let hub = LiveNode::boot(deploy.clone(), 0, None).expect("hub boots");
+    let addr = hub.hub_addr().expect("hub bound").to_string();
+    let leaves: Vec<LiveNode> = (1..deploy.nodes.len())
+        .map(|i| LiveNode::boot(deploy.clone(), i, Some(&addr)).expect("leaf boots"))
+        .collect();
+    assert!(
+        hub.wait_connected(leaves.len() as u32, Duration::from_secs(10)),
+        "leaves failed to connect"
+    );
+    (hub, leaves)
+}
+
+fn wait_master(hub: &LiveNode, timeout: Duration) -> fuxi_sim::ActorId {
+    let start = Instant::now();
+    while start.elapsed() < timeout {
+        if let Some(m) = hub.current_master() {
+            return m;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("no master elected within {timeout:?}");
+}
+
+#[test]
+fn distributed_cluster_completes_jobs_across_process_windows() {
+    let (mut hub, _leaves) = boot_cluster(11);
+    let master = wait_master(&hub, Duration::from_secs(10));
+    // The elected master lives in a master node's id window, not the hub's.
+    assert!(
+        master.node_index() == 1 || master.node_index() == 2,
+        "master {master:?} not in a master window"
+    );
+    const JOBS: usize = 8;
+    for i in 0..JOBS {
+        hub.submit(&small_job(i), &SubmitOpts::default());
+    }
+    let done = hub.wait_n_done(JOBS, Duration::from_secs(60));
+    assert_eq!(done, JOBS, "jobs stalled in distributed mode");
+    assert!(hub.all_jobs().iter().all(|(_, s)| s.done.as_ref().unwrap().0));
+    assert_eq!(hub.duplicate_finishes(), 0);
+}
+
+#[test]
+fn severed_agent_link_reconnects_and_reregisters_within_backoff_budget() {
+    let (mut hub, leaves) = boot_cluster(12);
+    wait_master(&hub, Duration::from_secs(10));
+    let agents = &leaves[2]; // node 3: the agent fleet
+    const JOBS: usize = 10;
+    for i in 0..JOBS {
+        hub.submit(&small_job(i), &SubmitOpts::default());
+    }
+    // Let some work start flowing, then kill the TCP peer mid-heartbeat.
+    hub.wait_n_done(2, Duration::from_secs(30));
+    agents.sever_link();
+    // Backoff budget: base 50 ms, cap 2 s — reconnect must land well
+    // inside a few seconds.
+    let start = Instant::now();
+    while agents.reconnects() == 0 && start.elapsed() < Duration::from_secs(10) {
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        agents.reconnects() >= 1,
+        "agent node did not reconnect within the backoff budget"
+    );
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "reconnect took {:?}, over the backoff budget",
+        start.elapsed()
+    );
+    // Re-registered agents keep heartbeating and the cluster drains every
+    // job exactly once — no lost and no duplicated completions.
+    let done = hub.wait_n_done(JOBS, Duration::from_secs(90));
+    assert_eq!(done, JOBS, "jobs lost after reconnect");
+    assert!(hub.all_jobs().iter().all(|(_, s)| s.done.as_ref().unwrap().0));
+    assert_eq!(hub.duplicate_finishes(), 0, "duplicate allocations leaked");
+}
+
+#[test]
+fn master_kill_fails_over_to_standby_in_other_process_window() {
+    let (mut hub, leaves) = boot_cluster(13);
+    let first = wait_master(&hub, Duration::from_secs(10));
+    let victim_node = first.node_index() as usize;
+    assert!(victim_node == 1 || victim_node == 2);
+    const JOBS: usize = 8;
+    for i in 0..JOBS {
+        hub.submit(&small_job(i), &SubmitOpts::default());
+    }
+    hub.wait_n_done(2, Duration::from_secs(30));
+
+    // Kill the primary's actor and hard-close its node's link: the
+    // in-process equivalent of SIGKILLing that OS process.
+    let victim = &leaves[victim_node - 1];
+    victim.rt.kill_actor(first);
+    victim.sever_link();
+
+    // The lease (1.5 s) must lapse and the standby take over.
+    let start = Instant::now();
+    let mut second = hub.current_master();
+    while start.elapsed() < Duration::from_secs(15) {
+        second = hub.current_master();
+        if second.is_some_and(|m| m != first) {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let second = second.expect("a master re-registered");
+    assert_ne!(second, first, "standby never took over");
+    assert_ne!(
+        second.node_index(),
+        first.node_index(),
+        "new master should live in the other master process"
+    );
+    let done = hub.wait_n_done(JOBS, Duration::from_secs(90));
+    assert_eq!(done, JOBS, "jobs lost across master failover");
+    assert_eq!(hub.duplicate_finishes(), 0);
+}

@@ -56,7 +56,7 @@ impl Default for MetricsPlaneConfig {
 /// One agent's status snapshot, pushed on the heartbeat cadence.
 /// Counters (`worker_starts`, `worker_exits`, `launch_failures`) are
 /// cumulative since agent start.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct AgentReport {
     /// Machine index of the reporting agent.
     pub machine: u32,
@@ -84,7 +84,7 @@ pub struct AgentReport {
 
 /// One job's progress snapshot, pushed by its JobMaster on the
 /// housekeeping cadence. Instance counters are cumulative.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
 pub struct JobReport {
     /// Owning application id.
     pub app: u32,
@@ -109,7 +109,7 @@ pub struct JobReport {
 }
 
 /// The wire payload of the in-band metrics channel.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum MetricsReport {
     /// From a FuxiAgent.
     Agent(AgentReport),

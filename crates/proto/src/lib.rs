@@ -19,6 +19,7 @@ pub mod msg;
 pub mod request;
 pub mod resource;
 pub mod topology;
+pub mod wire;
 
 pub use error::ProtoError;
 pub use health::NodeHealthReport;
@@ -33,3 +34,4 @@ pub use request::{
 };
 pub use resource::{ResourceVec, VirtualResourceId, VirtualResourceRegistry, CPU_MILLI_PER_CORE};
 pub use topology::{Locality, MachineSpec, Topology, TopologyBuilder};
+pub use wire::{FrameType, WireError, PROTO_VERSION};

@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// description: "application type, master package location and
 /// application-specific information"). The payload is an opaque string —
 /// for the DAG framework it is the Figure 6 JSON document.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AppDescription {
     /// Application type tag (e.g. `"fuxi_job"`), selecting the master factory.
     pub app_type: String,
@@ -48,7 +48,7 @@ impl Default for AppDescription {
 /// AM → FA: launch a worker process ("the work plan contains the necessary
 /// information to launch a specific process, such as its package location,
 /// resource usage limits and start-up parameters").
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WorkerSpec {
     /// Application id.
     pub app: AppId,
@@ -71,7 +71,7 @@ pub struct WorkerSpec {
 }
 
 /// The work an instance performs, in simulator terms.
-#[derive(Debug, Clone, PartialEq, Default)]
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct InstanceWork {
     /// Pure compute time at nominal machine speed, seconds.
     pub compute_s: f64,
@@ -133,7 +133,7 @@ pub struct JobSummary {
 
 /// The complete message set. One enum keeps dispatch exhaustive: adding a
 /// message forces every component to consider it.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Msg {
     // ------------------------------------------------------------------
     // Client ↔ FuxiMaster

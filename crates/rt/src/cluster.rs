@@ -11,6 +11,7 @@
 use crate::runtime::{LiveRuntime, RuntimeConfig};
 use fuxi_agent::{FuxiAgent, MasterFactory, MasterLaunch, WorkerFactory, WorkerLaunch};
 use fuxi_apsara::{LockService, NameRegistry, PanguHandle, StoreHandle};
+use fuxi_cluster::deploy::{ActorGroup, DeployTopology};
 use fuxi_cluster::{ClusterConfig, JobState, SubmitOpts};
 use fuxi_core::master::FuxiMaster;
 use fuxi_job::job_master::JobMaster;
@@ -127,8 +128,19 @@ pub struct LiveCluster {
 
 impl LiveCluster {
     /// Boots a live cluster with the same wiring the simulated harness
-    /// builds, driven by the same [`ClusterConfig`].
+    /// builds, driven by the same [`ClusterConfig`]. Equivalent to
+    /// flattening [`DeployTopology::single_process`].
     pub fn new(cfg: ClusterConfig) -> Self {
+        Self::from_topology(DeployTopology::single_process(cfg))
+    }
+
+    /// Boots every actor group of `deploy` — whatever node it is assigned
+    /// to — inside **one** process and one runtime. This is the
+    /// single-process flattening of the shared topology surface; the
+    /// multi-process runner (`fuxi-node`) boots the same topology one
+    /// node at a time instead.
+    pub fn from_topology(deploy: DeployTopology) -> Self {
+        let cfg = deploy.cluster.clone();
         let topo = {
             let mut b = TopologyBuilder::new();
             let full = cfg.n_machines / cfg.rack_size;
@@ -157,8 +169,6 @@ impl LiveCluster {
         let store = StoreHandle::new();
         let pangu = PanguHandle::new(cfg.seed.wrapping_mul(31).wrapping_add(7));
 
-        let lock = rt.spawn(None, Box::new(LockService::with_defaults()));
-
         let worker_cfg = cfg.jm.worker.clone();
         let worker_factory: WorkerFactory = Arc::new(move |launch: &WorkerLaunch| {
             Box::new(TaskWorker::from_spec(&launch.spec, worker_cfg.clone()))
@@ -184,48 +194,64 @@ impl LiveCluster {
         // gauges are windowed series, not just a high-water mark).
         let hub = fuxi_sim::obs::MetricsHub::new(cfg.master.metrics.window_s);
         rt.attach_hub(hub.clone());
-        let mut masters = Vec::new();
-        let n_masters = if cfg.standby_master { 2 } else { 1 };
-        for _ in 0..n_masters {
-            let m = rt.spawn(
-                None,
-                Box::new(FuxiMaster::new(
-                    cfg.master.clone(),
-                    (*topo).clone(),
-                    naming.clone(),
-                    store.clone(),
-                    lock,
-                    hub.clone(),
-                )),
-            );
-            masters.push(m);
-        }
 
-        let mut agents = Vec::new();
-        for m in topo.machines() {
-            let a = rt.spawn(
-                Some(m.0),
-                Box::new(FuxiAgent::new(
-                    m,
-                    topo.spec(m).resources.clone(),
-                    cfg.agent.clone(),
-                    naming.clone(),
-                    master_factory.clone(),
-                    worker_factory.clone(),
-                )),
-            );
-            agents.push(a);
-        }
-
+        // Spawn every group of every node, in topology order. The lock
+        // service always precedes the masters in the canonical layouts,
+        // so its id is known by the time a master needs it.
         let log: ClientLog = Arc::new(Mutex::new(BTreeMap::new()));
-        let client = rt.spawn(
-            None,
-            Box::new(Client {
-                naming: naming.clone(),
-                log: log.clone(),
-                pending: BTreeMap::new(),
-            }),
-        );
+        let mut lock = ActorId::NONE;
+        let mut masters = Vec::new();
+        let mut agents = Vec::new();
+        let mut client = ActorId::NONE;
+        for node in &deploy.nodes {
+            for group in &node.actors {
+                match group {
+                    ActorGroup::LockService => {
+                        lock = rt.spawn(None, Box::new(LockService::with_defaults()));
+                    }
+                    ActorGroup::Master => {
+                        assert_ne!(lock, ActorId::NONE, "lock service must precede masters");
+                        masters.push(rt.spawn(
+                            None,
+                            Box::new(FuxiMaster::new(
+                                cfg.master.clone(),
+                                (*topo).clone(),
+                                naming.clone(),
+                                store.clone(),
+                                lock,
+                                hub.clone(),
+                            )),
+                        ));
+                    }
+                    ActorGroup::Agents { first, count } => {
+                        for k in *first..(*first + *count) {
+                            let m = MachineId(k);
+                            agents.push(rt.spawn(
+                                Some(m.0),
+                                Box::new(FuxiAgent::new(
+                                    m,
+                                    topo.spec(m).resources.clone(),
+                                    cfg.agent.clone(),
+                                    naming.clone(),
+                                    master_factory.clone(),
+                                    worker_factory.clone(),
+                                )),
+                            ));
+                        }
+                    }
+                    ActorGroup::Client => {
+                        client = rt.spawn(
+                            None,
+                            Box::new(Client {
+                                naming: naming.clone(),
+                                log: log.clone(),
+                                pending: BTreeMap::new(),
+                            }),
+                        );
+                    }
+                }
+            }
+        }
 
         Self {
             rt,

@@ -15,18 +15,18 @@
 //! * [`scrape`] — an HTTP endpoint (`/metrics` Prometheus text, `/json`)
 //!   serving the live cluster view;
 //! * [`mailbox`], [`timer`] — the underlying building blocks;
-//! * [`transport`] (feature `tcp-loopback`) — length-prefixed framing
-//!   over `std::net` loopback sockets.
+//! * [`transport`] — the versioned, framed deployment transport (HELLO
+//!   handshake, typed version rejection, TCP | in-proc channel).
 
 pub mod cluster;
 pub mod mailbox;
 pub mod runtime;
 pub mod scrape;
 pub mod timer;
-#[cfg(feature = "tcp-loopback")]
 pub mod transport;
 
 pub use cluster::LiveCluster;
 pub use mailbox::{MailboxGauges, PushOutcome};
 pub use runtime::{LiveRuntime, RuntimeConfig};
 pub use timer::TimerWheel;
+pub use transport::{ChannelTransport, Frame, TcpTransport, Transport, TransportListener};

@@ -53,6 +53,23 @@ pub struct RuntimeConfig {
     /// Sub-second values make the scrape endpoint near-live; the shutdown
     /// merge still catches whatever accumulated since the last flush.
     pub metrics_flush: Duration,
+    /// First actor id this runtime assigns (`node_index <<`
+    /// [`ACTOR_WINDOW_SHIFT`]). In a multi-process deployment every node
+    /// numbers its actors inside its own window, so an [`ActorId`] is
+    /// globally routable; ids outside this runtime's window go to the
+    /// remote router (or count as dead when none is installed).
+    pub actor_base: u32,
+}
+
+/// Width of one node's actor-id window: ids `base .. base + 2^24` are
+/// local to the node whose base is `node_index << 24` (canonically
+/// defined on [`ActorId`]).
+pub const ACTOR_WINDOW_SHIFT: u32 = ActorId::NODE_WINDOW_SHIFT;
+
+/// `true` when two ids live in the same node window.
+#[inline]
+pub fn same_window(a: u32, b: u32) -> bool {
+    (a >> ACTOR_WINDOW_SHIFT) == (b >> ACTOR_WINDOW_SHIFT)
 }
 
 impl Default for RuntimeConfig {
@@ -64,9 +81,18 @@ impl Default for RuntimeConfig {
             mailbox_capacity: 8192,
             timer_tick: Duration::from_millis(2),
             metrics_flush: Duration::from_secs(1),
+            actor_base: 0,
         }
     }
 }
+
+/// Callback delivering a message whose destination lives in another
+/// process: `(from, to, msg)`. Installed by the node supervisor.
+pub type RemoteRouter<M> = Box<dyn Fn(ActorId, ActorId, M) + Send + Sync>;
+
+/// Liveness oracle for non-local actor ids (typically "is the owning
+/// peer's connection up"). Installed by the node supervisor.
+pub type RemoteAlive = Box<dyn Fn(ActorId) -> bool + Send + Sync>;
 
 /// What lands in an actor's mailbox.
 enum Envelope<M> {
@@ -158,6 +184,10 @@ struct Shared<M: KernelMsg + Send> {
     /// Cluster metrics view, if a harness attached one: the clock thread
     /// samples mailbox pressure into it alongside the windowed series.
     hub: Mutex<Option<fuxi_obs::MetricsHub>>,
+    /// Outbound path for destinations in other processes.
+    remote_router: RwLock<Option<RemoteRouter<M>>>,
+    /// Liveness oracle for remote ids (`ctx.alive` on a peer's actor).
+    remote_alive: RwLock<Option<RemoteAlive>>,
 }
 
 impl<M: KernelMsg + Send + 'static> Shared<M> {
@@ -165,13 +195,43 @@ impl<M: KernelMsg + Send + 'static> Shared<M> {
         SimTime(self.epoch.elapsed().as_micros() as u64)
     }
 
+    /// `true` when `id` belongs to this runtime's actor-id window.
+    fn is_local(&self, id: ActorId) -> bool {
+        same_window(id.0, self.cfg.actor_base)
+    }
+
+    /// Slot index for a local id.
+    fn slot_index(&self, id: ActorId) -> usize {
+        (id.0 - self.cfg.actor_base) as usize
+    }
+
+    /// Hands a message for a non-local destination to the remote router.
+    /// Only plain messages cross process boundaries — timers, kills and
+    /// spawns are strictly node-local. Returns the push verdict.
+    fn route_remote(&self, to: ActorId, env: Envelope<M>) -> PushOutcome {
+        if to == ActorId::NONE {
+            return PushOutcome::Dead; // pre-registration placeholder, never routable
+        }
+        if let Envelope::Msg { from, msg, .. } = env {
+            let router = self.remote_router.read().unwrap();
+            if let Some(route) = router.as_ref() {
+                route(from, to, msg);
+                return PushOutcome::Sent;
+            }
+        }
+        PushOutcome::Dead
+    }
+
     /// Clones the destination's sender under the read lock, pushes outside
     /// it (a parked push must never hold the registry lock).
     fn push_envelope(&self, to: ActorId, env: Envelope<M>) -> PushOutcome {
+        if !self.is_local(to) {
+            return self.route_remote(to, env);
+        }
         let sender = {
             let slots = self.slots.read().unwrap();
             slots
-                .get(to.0 as usize)
+                .get(self.slot_index(to))
                 .filter(|s| s.alive)
                 .and_then(|s| s.sender.clone())
         };
@@ -181,11 +241,37 @@ impl<M: KernelMsg + Send + 'static> Shared<M> {
         }
     }
 
+    /// Non-blocking delivery used by the clock thread: remote envelopes are
+    /// routed (never parked), local ones try the mailbox and hand the
+    /// envelope back on a full box so the caller can retry next tick.
+    fn try_deliver(&self, to: ActorId, env: Envelope<M>) -> Result<(), Envelope<M>> {
+        // (remote routing never parks; local full mailboxes hand back the envelope)
+        if !self.is_local(to) {
+            self.route_remote(to, env);
+            return Ok(());
+        }
+        let sender = {
+            let slots = self.slots.read().unwrap();
+            slots
+                .get(self.slot_index(to))
+                .filter(|s| s.alive)
+                .and_then(|s| s.sender.clone())
+        };
+        match sender {
+            Some(tx) => tx.push_nonblocking(env).map(|_| ()),
+            None => Ok(()),
+        }
+    }
+
     fn spawn(self: &Arc<Self>, machine: Option<u32>, actor: Box<dyn Actor<M> + Send>, trace: TraceId) -> ActorId {
         let (tx, rx, gauges) = mailbox(self.cfg.mailbox_capacity);
         let id = {
             let mut slots = self.slots.write().unwrap();
-            let id = ActorId(slots.len() as u32);
+            assert!(
+                (slots.len() as u32) < (1 << ACTOR_WINDOW_SHIFT),
+                "actor-id window exhausted"
+            );
+            let id = ActorId(self.cfg.actor_base + slots.len() as u32);
             let shared = Arc::clone(self);
             let g = Arc::clone(&gauges);
             let handle = std::thread::Builder::new()
@@ -207,9 +293,12 @@ impl<M: KernelMsg + Send + 'static> Shared<M> {
     }
 
     fn kill(&self, id: ActorId) {
+        if !self.is_local(id) {
+            return; // remote actors are killed by their own node
+        }
         let (sender, machine) = {
             let mut slots = self.slots.write().unwrap();
-            match slots.get_mut(id.0 as usize) {
+            match slots.get_mut(self.slot_index(id)) {
                 Some(s) if s.alive => {
                     s.alive = false;
                     (s.sender.take(), s.machine)
@@ -229,18 +318,32 @@ impl<M: KernelMsg + Send + 'static> Shared<M> {
     }
 
     fn alive(&self, id: ActorId) -> bool {
+        if !self.is_local(id) {
+            // A peer's actor is presumed alive while its connection is up;
+            // with no supervisor installed, remote ids are dead (matches
+            // the old out-of-range behaviour).
+            return self
+                .remote_alive
+                .read()
+                .unwrap()
+                .as_ref()
+                .is_some_and(|f| f(id));
+        }
         self.slots
             .read()
             .unwrap()
-            .get(id.0 as usize)
+            .get(self.slot_index(id))
             .is_some_and(|s| s.alive)
     }
 
     fn machine_of(&self, id: ActorId) -> Option<u32> {
+        if !self.is_local(id) {
+            return None;
+        }
         self.slots
             .read()
             .unwrap()
-            .get(id.0 as usize)
+            .get(self.slot_index(id))
             .and_then(|s| s.machine)
     }
 
@@ -585,17 +688,8 @@ fn clock_thread<M: KernelMsg + Send + 'static>(
         if !backlog.is_empty() {
             let pending = std::mem::take(&mut backlog);
             for (to, env) in pending {
-                let sender = {
-                    let slots = shared.slots.read().unwrap();
-                    slots
-                        .get(to.0 as usize)
-                        .filter(|s| s.alive)
-                        .and_then(|s| s.sender.clone())
-                };
-                if let Some(tx) = sender {
-                    if let Err(env) = tx.push_nonblocking(env) {
-                        backlog.push((to, env));
-                    }
+                if let Err(env) = shared.try_deliver(to, env) {
+                    backlog.push((to, env));
                 }
             }
         }
@@ -606,18 +700,9 @@ fn clock_thread<M: KernelMsg + Send + 'static>(
                     from, to, msg, trace,
                 } => (to, Envelope::Msg { from, msg, trace }),
             };
-            let sender = {
-                let slots = shared.slots.read().unwrap();
-                slots
-                    .get(to.0 as usize)
-                    .filter(|s| s.alive)
-                    .and_then(|s| s.sender.clone())
-            };
-            if let Some(tx) = sender {
-                if let Err(env) = tx.push_nonblocking(env) {
-                    shared.metrics.lock().unwrap().count("rt.clock_parked", 1);
-                    backlog.push((to, env));
-                }
+            if let Err(env) = shared.try_deliver(to, env) {
+                shared.metrics.lock().unwrap().count("rt.clock_parked", 1);
+                backlog.push((to, env));
             }
         }
         for done in flows.advance(now) {
@@ -669,6 +754,8 @@ impl<M: KernelMsg + Send + 'static> LiveRuntime<M> {
             metrics: Mutex::new(Metrics::new()),
             tracer: Mutex::new(Tracer::default()),
             hub: Mutex::new(None),
+            remote_router: RwLock::new(None),
+            remote_alive: RwLock::new(None),
         });
         let clock = {
             let shared = Arc::clone(&shared);
@@ -711,6 +798,37 @@ impl<M: KernelMsg + Send + 'static> LiveRuntime<M> {
         self.send_external_traced(to, msg, TraceId::NONE);
     }
 
+    /// Delivers a message that arrived from a peer process, preserving the
+    /// remote sender's address. The node supervisor's inbound path.
+    pub fn route_in(&self, from: ActorId, to: ActorId, msg: M) {
+        self.shared.metrics.lock().unwrap().count("net.remote_in", 1);
+        let _ = self.shared.push_envelope(
+            to,
+            Envelope::Msg {
+                from,
+                msg,
+                trace: TraceId::NONE,
+            },
+        );
+    }
+
+    /// A detached [`LiveRuntime::route_in`] handle the node supervisor's
+    /// reader threads can own without borrowing the runtime.
+    pub fn remote_injector(&self) -> Arc<dyn Fn(ActorId, ActorId, M) + Send + Sync> {
+        let shared = Arc::clone(&self.shared);
+        Arc::new(move |from, to, msg| {
+            shared.metrics.lock().unwrap().count("net.remote_in", 1);
+            let _ = shared.push_envelope(
+                to,
+                Envelope::Msg {
+                    from,
+                    msg,
+                    trace: TraceId::NONE,
+                },
+            );
+        })
+    }
+
     /// Terminates one actor (its thread exits after draining its mailbox).
     pub fn kill_actor(&self, id: ActorId) {
         self.shared.kill(id);
@@ -749,7 +867,7 @@ impl<M: KernelMsg + Send + 'static> LiveRuntime<M> {
                 .iter()
                 .enumerate()
                 .filter(|(_, s)| s.alive && s.machine == Some(m))
-                .map(|(i, _)| ActorId(i as u32))
+                .map(|(i, _)| ActorId(self.shared.cfg.actor_base + i as u32))
                 .collect()
         };
         for id in victims {
@@ -786,6 +904,24 @@ impl<M: KernelMsg + Send + 'static> LiveRuntime<M> {
     /// starts feeding the view's `mailbox_depth`/`mailbox_hwm` fields.
     pub fn attach_hub(&self, hub: fuxi_obs::MetricsHub) {
         *self.shared.hub.lock().unwrap() = Some(hub);
+    }
+
+    /// First actor id this runtime assigns.
+    pub fn actor_base(&self) -> u32 {
+        self.shared.cfg.actor_base
+    }
+
+    /// Installs the outbound path for messages addressed outside this
+    /// runtime's actor-id window (the node supervisor's send queue).
+    pub fn set_remote_router(&self, route: RemoteRouter<M>) {
+        *self.shared.remote_router.write().unwrap() = Some(route);
+    }
+
+    /// Installs the liveness oracle consulted by `ctx.alive` for remote
+    /// ids. Without one, remote actors read as dead — which is exactly
+    /// what the lock service must see when a peer process is gone.
+    pub fn set_remote_alive(&self, alive: RemoteAlive) {
+        *self.shared.remote_alive.write().unwrap() = Some(alive);
     }
 
     /// A clone of the runtime-global metrics as of now. With periodic

@@ -28,11 +28,42 @@ pub struct ActorId(pub u32);
 impl ActorId {
     /// A placeholder address that is never alive (used before registration).
     pub const NONE: ActorId = ActorId(u32::MAX);
+
+    /// Width of one deployment node's actor-id window. In a multi-process
+    /// cluster, node `i` numbers its actors from `i << NODE_WINDOW_SHIFT`,
+    /// so any [`ActorId`] is globally routable: the high bits name the
+    /// owning process, the low bits its local slot.
+    pub const NODE_WINDOW_SHIFT: u32 = 24;
+
+    /// First actor id owned by deployment node `node_index`.
+    pub const fn node_base(node_index: u32) -> u32 {
+        node_index << Self::NODE_WINDOW_SHIFT
+    }
+
+    /// Deployment-node index encoded in this id's high bits (0 for every
+    /// id in a single-process cluster).
+    pub const fn node_index(self) -> u32 {
+        self.0 >> Self::NODE_WINDOW_SHIFT
+    }
 }
 
 impl fmt::Display for ActorId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "a{}", self.0)
+    }
+}
+
+// Manual (not derived) so the wire form is a bare integer: actor addresses
+// appear in nearly every routed message and pay for compactness.
+impl serde::Serialize for ActorId {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::UInt(u64::from(self.0))
+    }
+}
+
+impl serde::Deserialize for ActorId {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        <u32 as serde::Deserialize>::from_value(v).map(ActorId)
     }
 }
 
